@@ -1,0 +1,74 @@
+"""Ablation — out-of-core storage budget (§III-B's NVRAM spill).
+
+DegAwareRHH exists to keep "the number of accesses to out-of-core
+storage (e.g. NVRAM)" low when the graph outgrows memory.  This bench
+sweeps the per-rank memory budget relative to the final topology
+footprint and reports the event-rate cost of spilling.
+"""
+
+from conftest import report_table
+from harness import BENCH_SCALE, RANKS_PER_NODE, SEEDS, cost_model, fmt_rate, fmt_table
+
+import numpy as np
+
+from repro import DynamicEngine, EngineConfig, IncrementalBFS, split_streams
+from repro.generators import rmat_edges
+
+SCALE = 11 + BENCH_SCALE
+N_NODES = 2
+
+
+def _experiment():
+    rng = SEEDS.rng("ablation-nvram")
+    src, dst = rmat_edges(SCALE, edge_factor=8, rng=rng)
+    source = int(src[0])
+    n_ranks = N_NODES * RANKS_PER_NODE
+
+    # Dry run to learn the final in-memory footprint per rank.
+    probe = DynamicEngine([], EngineConfig(n_ranks=n_ranks), cost_model=cost_model())
+    probe.attach_streams(split_streams(src, dst, n_ranks, rng=np.random.default_rng(1)))
+    probe.run()
+    max_bytes = max(s.approx_bytes() for s in probe.stores)
+
+    rows = []
+    for label, frac in (
+        ("all in memory", None),
+        ("budget = footprint", 1.0),
+        ("budget = 1/2", 0.5),
+        ("budget = 1/4", 0.25),
+        ("budget = 1/8", 0.125),
+    ):
+        budget = float("inf") if frac is None else max(frac * max_bytes, 1.0)
+        cm = cost_model().with_overrides(rank_memory_bytes=budget)
+        e = DynamicEngine(
+            [IncrementalBFS()], EngineConfig(n_ranks=n_ranks), cost_model=cm
+        )
+        e.init_program("bfs", source)
+        e.attach_streams(split_streams(src, dst, n_ranks, rng=np.random.default_rng(1)))
+        e.run()
+        rows.append([label, fmt_rate(e.source_event_rate())])
+    return rows, max_bytes
+
+
+def test_ablation_nvram_budget(benchmark):
+    rows, max_bytes = benchmark.pedantic(_experiment, iterations=1, rounds=1)
+    table = fmt_table(
+        ["per-rank memory budget", "event rate"],
+        rows,
+        title=(
+            f"Ablation (§III-B): NVRAM spill — event rate vs memory budget "
+            f"(RMAT{SCALE}, {N_NODES} nodes; hottest rank footprint "
+            f"{max_bytes / 1024:.0f} KiB)"
+        ),
+    )
+    report_table("ablation_nvram", table)
+    rates = [r[1] for r in rows]
+    # Spilling must cost monotonically more as the budget shrinks.
+    def parse(rate_str):
+        value, unit = rate_str.split()
+        mult = {"Gev/s": 1e9, "Mev/s": 1e6, "Kev/s": 1e3, "ev/s": 1.0}[unit]
+        return float(value) * mult
+
+    parsed = [parse(r) for r in rates]
+    assert parsed[0] >= parsed[1] >= parsed[2] >= parsed[3] >= parsed[4]
+    assert parsed[0] > 1.5 * parsed[-1]

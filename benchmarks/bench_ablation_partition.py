@@ -1,0 +1,110 @@
+"""Ablation — partitioning strategy balance (§III-C).
+
+Quantifies the paper's claim: consistent hashing balances *vertices*
+uniformly, but on power-law graphs the *edge* distribution (and hence
+rank load) stays skewed.  Compares the paper's consistent-hash
+partitioner against naive modulo and an oracle block partitioner, on a
+power-law stream and a flat (Erdős–Rényi) control, and measures the
+end-to-end event-rate effect of the imbalance.
+"""
+
+import numpy as np
+
+from conftest import report_table
+from harness import BENCH_SCALE, SEEDS, fmt_rate, fmt_table, run_dynamic
+
+from repro import DynamicEngine, EngineConfig, IncrementalCC, split_streams
+from repro.generators import erdos_renyi_edges, rmat_edges
+from repro.partition import (
+    BlockPartitioner,
+    ConsistentHashPartitioner,
+    ModuloPartitioner,
+    measure_balance,
+)
+
+SCALE = 12 + BENCH_SCALE
+N_RANKS = 16
+
+
+def _workloads():
+    rng = SEEDS.rng("ablation-partition")
+    rmat = rmat_edges(SCALE, edge_factor=8, rng=rng)
+    er = erdos_renyi_edges(1 << SCALE, 8 << SCALE, rng=rng)
+    return {"rmat (power-law)": rmat, "erdos-renyi (flat)": er}
+
+
+def test_ablation_partition_balance(benchmark):
+    def measure():
+        rows = []
+        for wl_name, (src, dst) in _workloads().items():
+            n = 1 << SCALE
+            for p_name, part in (
+                ("consistent-hash", ConsistentHashPartitioner(N_RANKS)),
+                ("modulo", ModuloPartitioner(N_RANKS)),
+                ("block (oracle)", BlockPartitioner(N_RANKS, n)),
+            ):
+                stats = measure_balance(part, src, dst)
+                rows.append(
+                    [
+                        wl_name,
+                        p_name,
+                        f"{stats.vertex_imbalance:.3f}",
+                        f"{stats.edge_imbalance:.3f}",
+                        f"{stats.vertex_cv:.3f}",
+                        f"{stats.edge_cv:.3f}",
+                    ]
+                )
+        return rows
+
+    rows = benchmark.pedantic(measure, iterations=1, rounds=1)
+    table = fmt_table(
+        ["workload", "partitioner", "V imbalance", "E imbalance", "V cv", "E cv"],
+        rows,
+        title=(
+            "Ablation: partition balance (max/mean; 1.0 = perfect). "
+            "§III-C: hashing balances vertices, not power-law edges."
+        ),
+    )
+    report_table("ablation_partition", table)
+    by_key = {(r[0], r[1]): r for r in rows}
+    ch_rmat = by_key[("rmat (power-law)", "consistent-hash")]
+    # Vertices balanced (within sampling noise of a few thousand
+    # vertices over 16 ranks), edges visibly skewed — and the edge
+    # dispersion dominates the vertex dispersion.
+    assert float(ch_rmat[2]) < 1.25
+    assert float(ch_rmat[3]) > 1.2
+    assert float(ch_rmat[5]) > 2 * float(ch_rmat[4])
+    # flat control: consistent hash balances both
+    ch_er = by_key[("erdos-renyi (flat)", "consistent-hash")]
+    assert float(ch_er[3]) < 1.15
+
+
+def test_ablation_partition_event_rate(benchmark):
+    """End-to-end: does hash-partition edge skew cost event rate?"""
+    rng = SEEDS.rng("ablation-partition-rate")
+    src, dst = rmat_edges(SCALE - 2, edge_factor=8, rng=rng)
+
+    def measure():
+        rates = {}
+        for salt in (0, 1, 2):
+            e = DynamicEngine(
+                [IncrementalCC()],
+                EngineConfig(n_ranks=N_RANKS, partition_salt=salt),
+            )
+            e.attach_streams(
+                split_streams(src, dst, N_RANKS, rng=np.random.default_rng(6))
+            )
+            e.run()
+            rates[salt] = e.source_event_rate()
+        return rates
+
+    rates = benchmark.pedantic(measure, iterations=1, rounds=1)
+    rows = [[salt, fmt_rate(rate)] for salt, rate in rates.items()]
+    table = fmt_table(
+        ["hash salt", "event rate"],
+        rows,
+        title="Ablation: event-rate sensitivity to the hash draw (RMAT, 16 ranks)",
+    )
+    report_table("ablation_partition_rate", table)
+    vals = list(rates.values())
+    assert max(vals) / min(vals) < 2.0  # hash draw matters but is bounded

@@ -1,0 +1,104 @@
+"""Figure 3 — static vs. dynamic strategies (1 node, Twitter stand-in).
+
+Three stacked bars, as in the paper:
+
+1. **static**: CSR bulk construction + one static BFS on the CSR;
+2. **dyn+static**: dynamic (event-at-a-time) construction, then one
+   static BFS executed over the dynamic structure (paying the
+   locality penalty of §V-B);
+3. **dyn overlapped**: dynamic construction with the incremental BFS
+   maintained live during ingestion — a queryable result at all times.
+
+Expected shape (paper's findings):
+* static construction ≈ 2x faster than dynamic construction;
+* static-BFS-on-dynamic > static-BFS-on-CSR (compression/locality);
+* the overlapped bar lands near bar 2's total while being live.
+"""
+
+import numpy as np
+
+from conftest import report_table
+from harness import (
+    BENCH_SCALE,
+    SEEDS,
+    fmt_table,
+    fmt_time,
+    run_dynamic,
+    static_algorithm_time,
+    static_construction_time,
+)
+
+from repro import IncrementalBFS
+from repro.generators import generate_preset
+from repro.staticalgs import static_bfs
+from repro.storage.csr import CSRGraph
+
+N_NODES = 1
+SCALE = 12 + BENCH_SCALE
+
+
+def _experiment():
+    rng = SEEDS.rng("fig3")
+    src, dst, _ = generate_preset("twitter", rng, scale=SCALE)
+    source = int(src[0])
+
+    # Bar 1: static construction + static BFS on CSR (measured ops).
+    graph = CSRGraph.from_edges(src, dst, symmetrize=True)
+    t_static_con = static_construction_time(graph, N_NODES)
+    _, ops = static_bfs(graph, source)
+    t_static_bfs = static_algorithm_time(ops, N_NODES)
+
+    # Bar 2: dynamic construction (no algorithm), then static BFS over
+    # the dynamic structure (same measured ops, locality penalty).
+    con_run = run_dynamic(src, dst, [], N_NODES, shuffle_seed=1)
+    t_dyn_con = con_run.makespan
+    t_static_on_dyn = static_algorithm_time(ops, N_NODES, on_dynamic=True)
+
+    # Bar 3: dynamic construction overlapped with incremental BFS.
+    overlap = run_dynamic(
+        src, dst, [IncrementalBFS()], N_NODES,
+        init=[("bfs", source, None)], shuffle_seed=1,
+    )
+    t_overlap = overlap.makespan
+
+    return {
+        "static_con": t_static_con,
+        "static_bfs": t_static_bfs,
+        "dyn_con": t_dyn_con,
+        "static_on_dyn": t_static_on_dyn,
+        "overlap": t_overlap,
+        "edges": len(src),
+        "wall": con_run.wall_seconds + overlap.wall_seconds,
+    }
+
+
+def test_fig3_static_vs_dynamic(benchmark):
+    r = benchmark.pedantic(_experiment, iterations=1, rounds=1)
+    bar1 = r["static_con"] + r["static_bfs"]
+    bar2 = r["dyn_con"] + r["static_on_dyn"]
+    bar3 = r["overlap"]
+    rows = [
+        ["1. static (CSR)", fmt_time(r["static_con"]), fmt_time(r["static_bfs"]),
+         fmt_time(bar1)],
+        ["2. dynamic + static BFS", fmt_time(r["dyn_con"]),
+         fmt_time(r["static_on_dyn"]), fmt_time(bar2)],
+        ["3. dynamic, BFS overlapped", fmt_time(bar3), "(live)", fmt_time(bar3)],
+    ]
+    table = fmt_table(
+        ["strategy", "construction", "BFS", "total"],
+        rows,
+        title=(
+            f"Figure 3: static vs dynamic (1 node, twitter stand-in, "
+            f"{r['edges']:,} edges)\n"
+            f"shape checks: dyn/static construction = "
+            f"{r['dyn_con'] / r['static_con']:.2f}x (paper ~2x); "
+            f"static-on-dyn/static BFS = "
+            f"{r['static_on_dyn'] / r['static_bfs']:.2f}x; "
+            f"overlapped/bar2 = {bar3 / bar2:.2f}x (paper ~1x)"
+        ),
+    )
+    report_table("fig3", table)
+    # Shape assertions (the paper's qualitative findings).
+    assert 1.3 < r["dyn_con"] / r["static_con"] < 3.5
+    assert r["static_on_dyn"] > r["static_bfs"]
+    assert 0.6 < bar3 / bar2 < 1.8

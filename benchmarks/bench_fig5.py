@@ -1,0 +1,109 @@
+"""Figure 5 — dynamic algorithm queries on the real-graph stand-ins.
+
+Events/second for construction-only (CON) and each maintained algorithm
+(BFS, SSSP, CC, ST), per dataset, at 1 and 4 nodes.
+
+Expected shape (§V-D): maintaining an algorithm during construction has
+*low impact* relative to construction-only (update messaging latches
+onto edge construction); each dataset shows its own performance pattern
+(event rate follows topology structure); more nodes, more rate.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import report_table
+from harness import BENCH_SCALE, SEEDS, fmt_rate, fmt_table, run_dynamic
+
+from repro import (
+    IncrementalBFS,
+    IncrementalCC,
+    IncrementalSSSP,
+    MultiSTConnectivity,
+)
+from repro.generators import DATASET_PRESETS, generate_preset
+from repro.generators.weights import pairwise_weights
+
+SCALE = 10 + BENCH_SCALE
+NODE_COUNTS = (1, 4)
+ALGOS = ("CON", "BFS", "SSSP", "CC", "ST")
+
+
+def _build_programs(algo: str, src: np.ndarray):
+    source = int(src[0])
+    if algo == "CON":
+        return [], []
+    if algo == "BFS":
+        return [IncrementalBFS()], [("bfs", source, None)]
+    if algo == "SSSP":
+        return [IncrementalSSSP()], [("sssp", source, None)]
+    if algo == "CC":
+        return [IncrementalCC()], []
+    if algo == "ST":
+        st = MultiSTConnectivity()
+        return [st], [("st", source, st.register_source(source))]
+    raise ValueError(algo)
+
+
+def _experiment():
+    results: dict[tuple[str, str, int], float] = {}
+    for name in sorted(DATASET_PRESETS):
+        rng = SEEDS.rng("fig5", name)
+        src, dst, _ = generate_preset(name, rng, scale=SCALE)
+        weights = pairwise_weights(src, dst, 1, 50)
+        for n_nodes in NODE_COUNTS:
+            for algo in ALGOS:
+                programs, init = _build_programs(algo, src)
+                run = run_dynamic(
+                    src,
+                    dst,
+                    programs,
+                    n_nodes,
+                    weights=weights,
+                    init=init,
+                    shuffle_seed=3,
+                )
+                results[(name, algo, n_nodes)] = run.rate
+    return results
+
+
+def test_fig5_algorithms_on_datasets(benchmark):
+    results = benchmark.pedantic(_experiment, iterations=1, rounds=1)
+    rows = []
+    for name in sorted(DATASET_PRESETS):
+        for n_nodes in NODE_COUNTS:
+            row = [name, n_nodes]
+            con = results[(name, "CON", n_nodes)]
+            for algo in ALGOS:
+                rate = results[(name, algo, n_nodes)]
+                rel = f" ({rate / con:.0%})" if algo != "CON" else ""
+                row.append(fmt_rate(rate) + rel)
+            rows.append(row)
+    table = fmt_table(
+        ["dataset", "nodes", *ALGOS],
+        rows,
+        title=(
+            f"Figure 5: events/s per algorithm x dataset x node count "
+            f"(stand-ins at scale {SCALE}; %% of CON in parentheses)"
+        ),
+    )
+    report_table("fig5", table)
+
+    for name in sorted(DATASET_PRESETS):
+        for n_nodes in NODE_COUNTS:
+            con = results[(name, "CON", n_nodes)]
+            for algo in ALGOS[1:]:
+                rate = results[(name, algo, n_nodes)]
+                # "low impact on performance compared to the
+                # construction-only execution"
+                assert rate > 0.25 * con, (name, algo, n_nodes)
+                assert rate < 1.25 * con, (name, algo, n_nodes)
+        # more nodes help (not necessarily linearly here; Fig 6 covers
+        # scaling in detail)
+        assert (
+            results[(name, "BFS", NODE_COUNTS[-1])]
+            > results[(name, "BFS", NODE_COUNTS[0])]
+        )
+    # per-dataset patterns differ (topology-dependent rates, §V-D)
+    con_rates = [results[(n, "CON", NODE_COUNTS[-1])] for n in sorted(DATASET_PRESETS)]
+    assert max(con_rates) / min(con_rates) > 1.1

@@ -1,0 +1,69 @@
+"""Figure 6 — strong and weak scaling for incremental BFS (RMAT).
+
+Sweeps RMAT scale x node count with live BFS maintained during
+construction.  Expected shape (§V-E):
+
+* **strong scaling** — for a fixed graph, doubling the node count gives
+  a near-doubling of the maximum event rate;
+* **weak scaling** — for a fixed node count, growing the graph does not
+  significantly reduce the event rate ("the size of the graph does not
+  impact event processing rate").
+"""
+
+from conftest import report_table
+from harness import BENCH_SCALE, SEEDS, fmt_rate, fmt_table, run_dynamic
+
+from repro import IncrementalBFS
+from repro.generators import rmat_edges
+
+SCALES = tuple(s + BENCH_SCALE for s in (9, 10, 11, 12))
+NODE_COUNTS = (1, 2, 4, 8)
+EDGE_FACTOR = 8
+
+
+def _experiment():
+    results: dict[tuple[int, int], float] = {}
+    for scale in SCALES:
+        rng = SEEDS.rng("fig6", scale)
+        src, dst = rmat_edges(scale, edge_factor=EDGE_FACTOR, rng=rng)
+        source = int(src[0])
+        for n_nodes in NODE_COUNTS:
+            run = run_dynamic(
+                src,
+                dst,
+                [IncrementalBFS()],
+                n_nodes,
+                init=[("bfs", source, None)],
+                shuffle_seed=4,
+            )
+            results[(scale, n_nodes)] = run.rate
+    return results
+
+
+def test_fig6_strong_and_weak_scaling(benchmark):
+    results = benchmark.pedantic(_experiment, iterations=1, rounds=1)
+    rows = []
+    for scale in SCALES:
+        row = [f"RMAT{scale}", f"{(1 << scale) * EDGE_FACTOR:,}"]
+        for n_nodes in NODE_COUNTS:
+            row.append(fmt_rate(results[(scale, n_nodes)]))
+        rows.append(row)
+    table = fmt_table(
+        ["graph", "edges", *[f"{n} node(s)" for n in NODE_COUNTS]],
+        rows,
+        title="Figure 6: event rate scaling, RMAT + live BFS",
+    )
+    report_table("fig6", table)
+
+    # Strong scaling: more nodes -> higher rate, with reasonable
+    # efficiency at each doubling for the larger graphs.
+    for scale in SCALES[1:]:
+        rates = [results[(scale, n)] for n in NODE_COUNTS]
+        for lo, hi in zip(rates, rates[1:]):
+            assert hi > lo, (scale, rates)
+        assert rates[-1] / rates[0] > 2.5, (scale, rates)
+    # Weak scaling: at a fixed node count, rate is not significantly
+    # hurt by graph growth (within 2x across an 8x size range).
+    for n_nodes in NODE_COUNTS:
+        rates = [results[(s, n_nodes)] for s in SCALES]
+        assert max(rates) / min(rates) < 2.5, (n_nodes, rates)

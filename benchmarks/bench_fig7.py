@@ -1,0 +1,79 @@
+"""Figure 7 — scaling the number of Multi S-T Connectivity sources.
+
+On the Twitter stand-in, sweeps the number of independent connectivity
+sources (0 = construction only, then 1..64 doubling) at 1 and 4 nodes.
+
+Expected shape (§V-F): the first few sources cost little (1 -> 2 well
+under 10%); by the high end, doubling the source set costs close to
+half the event rate; node scaling stays near-linear throughout.
+"""
+
+from conftest import report_table
+from harness import BENCH_SCALE, SEEDS, fmt_rate, fmt_table, run_dynamic
+
+from repro import MultiSTConnectivity
+from repro.generators import generate_preset
+
+SCALE = 10 + BENCH_SCALE
+SOURCE_COUNTS = (0, 1, 2, 4, 8, 16, 32, 64)
+NODE_COUNTS = (1, 4)
+
+
+def _experiment():
+    rng = SEEDS.rng("fig7")
+    src, dst, _ = generate_preset("twitter", rng, scale=SCALE)
+    # Deterministic, distinct source vertices drawn from the stream.
+    seen: list[int] = []
+    for v in src:
+        if int(v) not in seen:
+            seen.append(int(v))
+        if len(seen) >= max(SOURCE_COUNTS):
+            break
+    results: dict[tuple[int, int], float] = {}
+    for n_sources in SOURCE_COUNTS:
+        for n_nodes in NODE_COUNTS:
+            if n_sources == 0:
+                programs, init = [], []
+            else:
+                st = MultiSTConnectivity()
+                init = [
+                    ("st", s, st.register_source(s)) for s in seen[:n_sources]
+                ]
+                programs = [st]
+            run = run_dynamic(
+                src, dst, programs, n_nodes, init=init, shuffle_seed=5
+            )
+            results[(n_sources, n_nodes)] = run.rate
+    return results
+
+
+def test_fig7_multi_st_source_scaling(benchmark):
+    results = benchmark.pedantic(_experiment, iterations=1, rounds=1)
+    rows = []
+    for n_sources in SOURCE_COUNTS:
+        row = [n_sources]
+        for n_nodes in NODE_COUNTS:
+            rate = results[(n_sources, n_nodes)]
+            rel = rate / results[(0, n_nodes)]
+            row.append(f"{fmt_rate(rate)} ({rel:.0%})")
+        rows.append(row)
+    table = fmt_table(
+        ["sources", *[f"{n} node(s) (% of CON)" for n in NODE_COUNTS]],
+        rows,
+        title=f"Figure 7: Multi S-T source scaling, twitter stand-in (scale {SCALE})",
+    )
+    report_table("fig7", table)
+
+    for n_nodes in NODE_COUNTS:
+        base = results[(1, n_nodes)]
+        # 1 -> 2 sources costs little ("less than a 10% cost"; allow 15%).
+        assert results[(2, n_nodes)] > 0.85 * base
+        # Many sources hurt non-linearly: 64 sources well below 1 source.
+        assert results[(64, n_nodes)] < 0.8 * base
+        # Monotone-ish decline past 4 sources (small noise tolerated).
+        rates = [results[(k, n_nodes)] for k in (4, 8, 16, 32, 64)]
+        for lo, hi in zip(rates[1:], rates):
+            assert lo < 1.1 * hi
+    # Node scaling still helps at every source count.
+    for n_sources in SOURCE_COUNTS:
+        assert results[(n_sources, 4)] > results[(n_sources, 1)]

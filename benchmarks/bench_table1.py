@@ -1,0 +1,93 @@
+"""Table I — graphs used in experiments.
+
+Prints the paper's dataset inventory next to the synthetic stand-ins
+actually generated here (structure class, scaled-down sizes), and
+benchmarks stand-in generation throughput.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import report_table
+from harness import BENCH_SCALE, SEEDS, fmt_table
+
+from repro.analytics.graphstats import degree_stats
+from repro.generators import DATASET_PRESETS, generate_preset, rmat_edges
+
+
+def _generate_all():
+    rows = []
+    for name, preset in sorted(DATASET_PRESETS.items()):
+        rng = SEEDS.rng("table1", name)
+        scale = preset.default_scale + BENCH_SCALE
+        src, dst, _ = generate_preset(name, rng, scale=scale)
+        stats = degree_stats(src, dst)
+        rows.append(
+            [
+                name,
+                preset.paper_name,
+                f"{preset.paper_vertices:,}",
+                f"{preset.paper_edges:,}",
+                preset.paper_disk,
+                preset.kind,
+                f"{stats.n_vertices:,}",
+                f"{len(src):,}",
+                f"{stats.skew:.0f}x",
+                f"{stats.gini:.2f}",
+            ]
+        )
+    # RMAT row (Graph500 parameters, 16x edge factor as in Table I)
+    rng = SEEDS.rng("table1", "rmat")
+    scale = 12 + BENCH_SCALE
+    src, dst = rmat_edges(scale, edge_factor=16, rng=rng)
+    stats = degree_stats(src, dst)
+    rows.append(
+        [
+            f"rmat({scale})",
+            "RMAT(SCALE)",
+            f"2^SCALE",
+            "2^SCALE * 32",
+            "-",
+            "rmat",
+            f"{stats.n_vertices:,}",
+            f"{len(src):,}",
+            f"{stats.skew:.0f}x",
+            f"{stats.gini:.2f}",
+        ]
+    )
+    return rows
+
+
+def test_table1_dataset_inventory(benchmark):
+    rows = benchmark.pedantic(_generate_all, iterations=1, rounds=1)
+    table = fmt_table(
+        [
+            "preset",
+            "paper dataset",
+            "paper |V|",
+            "paper |E|",
+            "disk",
+            "stand-in",
+            "gen |V|",
+            "gen |E|",
+            "deg skew",
+            "gini",
+        ],
+        rows,
+        title="Table I: paper datasets vs. generated structure-matched stand-ins",
+    )
+    report_table("table1", table)
+    assert len(rows) == len(DATASET_PRESETS) + 1
+
+
+@pytest.mark.parametrize("name", sorted(DATASET_PRESETS))
+def test_preset_generation_speed(benchmark, name):
+    """Micro-benchmark: stand-in generation wall time per preset."""
+    preset = DATASET_PRESETS[name]
+    rng = SEEDS.rng("table1-speed", name)
+
+    def gen():
+        return generate_preset(name, rng, scale=preset.default_scale + BENCH_SCALE)
+
+    src, _, _ = benchmark(gen)
+    assert len(src) > 0

@@ -1,0 +1,35 @@
+"""Benchmark-suite plumbing: result tables printed after the run.
+
+pytest captures stdout, so benches register their paper-figure tables
+through :func:`report_table`; a terminal-summary hook prints every table
+after pytest-benchmark's own output, and each table is also written to
+``benchmarks/out/<name>.txt`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+_TABLES: list[tuple[str, str]] = []
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def report_table(name: str, text: str) -> None:
+    """Register a result table for end-of-run printing and persistence."""
+    _TABLES.append((name, text))
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _TABLES:
+        return
+    tr = terminalreporter
+    tr.section("paper-figure reproductions (also in benchmarks/out/)")
+    for name, text in _TABLES:
+        tr.write_line("")
+        tr.write_line(f"=== {name} ===")
+        for line in text.splitlines():
+            tr.write_line(line)
+    _TABLES.clear()

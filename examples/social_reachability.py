@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Live influence-distance tracking on a growing social network.
+
+The paper's Fig. 4 scenario: a graph under continuous ingestion, with
+global algorithm state collected on demand — *without pausing the
+stream* (§III-D).  We grow a Barabási–Albert social network (friendship
+events arrive in preferential-attachment order, old users keep making
+friends), maintain BFS hop-distance from an "influencer" account, and
+take three non-blocking snapshots mid-stream via the Chandy-Lamport-
+style versioned collection.  Each snapshot is a consistent view of the
+influence frontier at its cut, delivered in fractions of the time a
+from-scratch recomputation would take.
+
+Run:  python examples/social_reachability.py
+"""
+
+import numpy as np
+
+from repro import (
+    CostModel,
+    DynamicEngine,
+    EngineConfig,
+    INF,
+    IncrementalBFS,
+    split_streams,
+)
+from repro.generators import barabasi_albert_edges
+from repro.staticalgs import static_bfs
+from repro.storage.csr import CSRGraph
+
+N_USERS = 3_000
+ATTACH = 4
+RANKS = 12
+
+
+def main() -> None:
+    rng = np.random.default_rng(2026)
+    src, dst = barabasi_albert_edges(N_USERS, ATTACH, rng=rng)
+    print(f"{len(src):,} friendship events, {N_USERS:,} users, {RANKS} ranks")
+
+    bfs = IncrementalBFS()
+    engine = DynamicEngine([bfs], EngineConfig(n_ranks=RANKS))
+    influencer = 0  # the seed vertex every early user attached to
+    engine.init_program("bfs", influencer)
+
+    # Estimate the stream duration, then cut three snapshots inside it.
+    cm = CostModel()
+    per_event = cm.stream_pull_cpu + 2 * (cm.edge_insert_cpu + cm.visit_cpu)
+    est_makespan = len(src) * per_event / RANKS
+    # Each collection completes in ~100us of virtual time, far less than
+    # the spacing between cuts, so the one-at-a-time rule is satisfied.
+    for frac in (0.25, 0.5, 0.75):
+        engine.request_collection("bfs", at_time=frac * est_makespan)
+
+    engine.attach_streams(split_streams(src, dst, RANKS, rng=rng))
+    engine.run()
+
+    print("\nsnapshot    cut-events   reach   median-hops   latency")
+    for res in engine.collection_results:
+        cut_events = sum(engine.cut_positions[res.collection_id].values())
+        reach = {v: l for v, l in res.state.items() if 0 < l < INF}
+        median = int(np.median(list(reach.values()))) - 1 if reach else 0
+        print(
+            f"  t={res.requested_at * 1e3:6.2f}ms  {cut_events:10,}  "
+            f"{len(reach):6,}  {median:8}        {res.latency * 1e6:7.1f}us"
+        )
+
+    final = {v: l for v, l in engine.state("bfs").items() if 0 < l < INF}
+    print(f"\nfinal reach of user {influencer}: {len(final):,} users")
+
+    # What would a from-scratch static recomputation have cost at the end?
+    g = CSRGraph.from_edges(src, dst, symmetrize=True)
+    _, ops = static_bfs(g, influencer)
+    static_virtual = (
+        ops.vertex_visits * cm.static_vertex_cpu + ops.edge_scans * cm.static_edge_cpu
+    ) / RANKS
+    worst_snap = max(r.latency for r in engine.collection_results)
+    print(
+        f"static BFS from scratch (modelled): {static_virtual * 1e6:.1f}us vs "
+        f"worst live-collection latency {worst_snap * 1e6:.1f}us"
+    )
+    print(
+        "(collection latency is dominated by drain/probe rounds and stays "
+        "roughly flat as the graph grows, while the static recompute grows "
+        "linearly — benchmarks/bench_fig4.py shows the crossover; and the "
+        "collection never paused ingestion, unlike a snapshotting pipeline)"
+    )
+
+
+if __name__ == "__main__":
+    main()

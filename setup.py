@@ -1,0 +1,12 @@
+"""Setup shim for legacy editable installs.
+
+The execution environment has no network access and no ``wheel`` package,
+so PEP 517 editable installs (which build a wheel) are unavailable.  This
+shim lets ``pip install -e . --no-build-isolation --no-use-pep517`` (or
+plain ``pip install -e .`` with older pip) use the classic
+``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

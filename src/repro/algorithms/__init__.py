@@ -1,0 +1,46 @@
+"""Incremental (REMO) vertex programs — §IV of the paper.
+
+Four REMO algorithms, each a direct transcription of the paper's
+pseudocode on top of the Alg.-3 programming model:
+
+* :class:`~repro.algorithms.bfs.IncrementalBFS` (Alg. 4)
+* :class:`~repro.algorithms.sssp.IncrementalSSSP` (Alg. 5)
+* :class:`~repro.algorithms.cc.IncrementalCC` (Alg. 6)
+* :class:`~repro.algorithms.st_conn.MultiSTConnectivity` (Alg. 7)
+
+plus the degree-tracking example of §II-A
+(:class:`~repro.algorithms.degree.DegreeTracker`) and the decremental
+extension of §VI-B (:mod:`repro.algorithms.generations`), which handles
+edge deletes via state generations.
+
+``INF`` (2**62) is the shared "unreached" sentinel; 0 is the engine's
+"vertex never touched" default, as in the paper's pseudocode.
+"""
+
+from repro.algorithms.base import INF
+from repro.algorithms.bfs import IncrementalBFS
+from repro.algorithms.bfs_parents import DeterministicBFS
+from repro.algorithms.cc import IncrementalCC
+from repro.algorithms.degree import DegreeTracker
+from repro.algorithms.generations import (
+    GenerationalBFS,
+    GenerationalCC,
+    GenerationalSSSP,
+)
+from repro.algorithms.sssp import IncrementalSSSP
+from repro.algorithms.st_conn import MultiSTConnectivity
+from repro.algorithms.widest_path import WidestPath
+
+__all__ = [
+    "INF",
+    "IncrementalBFS",
+    "DeterministicBFS",
+    "IncrementalCC",
+    "IncrementalSSSP",
+    "MultiSTConnectivity",
+    "WidestPath",
+    "DegreeTracker",
+    "GenerationalBFS",
+    "GenerationalCC",
+    "GenerationalSSSP",
+]

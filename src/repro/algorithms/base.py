@@ -1,0 +1,37 @@
+"""Shared constants and helpers for the REMO algorithm suite.
+
+The value conventions follow the paper's pseudocode exactly:
+
+* ``0`` — the engine default for a vertex no callback has written;
+  Algs. 4-6 test ``value == 0`` to detect "we are a new vertex".
+* ``INF`` — "MAX_INTEGER" in the pseudocode; we use ``2**62`` so that
+  ``INF + weight`` never overflows int64 reasoning in tests, while
+  still comparing greater than any reachable level/cost.
+"""
+
+from __future__ import annotations
+
+INF = 1 << 62
+
+
+def min_monotone_merge(a: int, b: int) -> int:
+    """Monotone combine for min-converging state (BFS/SSSP levels).
+
+    0 is the 'unset' sentinel, *not* a small value — unset loses to
+    anything set.
+    """
+    if a == 0:
+        return b
+    if b == 0:
+        return a
+    return a if a < b else b
+
+
+def max_monotone_merge(a: int, b: int) -> int:
+    """Monotone combine for max-converging state (CC labels)."""
+    return a if a > b else b
+
+
+def union_merge(a: int, b: int) -> int:
+    """Monotone combine for bitset state (multi S-T connectivity)."""
+    return a | b

@@ -1,0 +1,341 @@
+"""Decremental support via state generations — the §VI-B extension.
+
+The paper outlines (but does not implement) a strategy for handling
+edge *deletes* without stopping the world: when an algorithmic action
+would break monotonicity (a delete raising a BFS distance), the affected
+state moves into a **new generation**, "a convex space lower than all
+possible other states within the current generation" — so the combined
+(generation, value) state stays monotone and the REMO machinery keeps
+working.  This module implements that outline concretely:
+
+* :class:`GenerationalBFS` / :class:`GenerationalSSSP` — distance
+  programs using an **epoch-restart protocol**: when a vertex loses the
+  edge supporting its distance (its parent edge), it starts a fresh
+  *epoch* — a totally-ordered generation tag ``(counter, initiator)`` —
+  and floods it through its component.  Every vertex entering the epoch
+  resets (source back to 1, everyone else to INF) and ordinary REMO
+  relaxation recomputes distances *within* the epoch.  Values are only
+  ever trusted between same-epoch vertices; lower-epoch messages are
+  answered with a pull-up, higher-epoch messages trigger adoption.
+  This is what makes the asynchronous version safe: naive
+  invalidate-and-repair suffers the classic distance-vector
+  count-to-infinity livelock (stale finite values circulating a cycle
+  revive each other forever — we hit exactly this under randomized
+  testing); epoch stamping makes stale revival impossible, and
+  termination follows from (a) epoch adoption being monotone in a
+  finite epoch set (one per support-breaking delete), and (b) plain
+  monotone convergence inside each epoch.
+* :class:`GenerationalCC` — component labels cannot be repaired
+  downward when a component splits, so a delete **reseeds** the whole
+  affected component into a new generation (each vertex resets to its
+  own hash) and re-runs max-label propagation within it — the paper's
+  "worst case ... rewriting of data at this magnitude" made explicit,
+  and still fully asynchronous and concurrent with ongoing adds.
+
+Value encodings (engine default 0 = never touched):
+
+* distance programs: ``(epoch, distance, parent)``; ``epoch`` is the
+  ``(counter, initiator_vertex)`` tuple (initially ``(0, 0)``); the
+  source has parent ``SELF``; INF distance = unreached.
+* CC: ``(generation, label)``.
+
+Update payloads are tagged tuples: ``("U", epoch, dist)`` relaxation,
+``("R", epoch_or_gen)`` restart/reseed flood, ``("L", gen, label)``
+label merge.  REVERSE_ADD hands the raw neighbour state to the
+callback, which normalises it.
+
+These programs do not support *versioned* snapshot collection (deletes
+plus version splitting compose poorly; the paper does not attempt it
+either) — use quiescence collection.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.algorithms.base import INF
+from repro.algorithms.cc import component_label
+from repro.runtime.program import VertexContext, VertexProgram
+
+SELF = -2  # parent sentinel: this vertex is the query source
+NO_PARENT = -1
+EPOCH0 = (0, 0)  # the epoch every vertex is born into
+
+
+class _GenerationalDistance(VertexProgram):
+    """Shared epoch-restart machinery for generational BFS and SSSP.
+
+    Subclasses define :meth:`hop_cost` (1 for BFS, the edge weight for
+    SSSP).  State: ``(epoch, dist, parent)``.
+    """
+
+    snapshot_mode = "replay"
+
+    def hop_cost(self, weight: int) -> int:
+        raise NotImplementedError
+
+    # -- helpers ---------------------------------------------------------
+    @staticmethod
+    def _ensure(ctx: VertexContext) -> tuple[tuple[int, int], int, int]:
+        value = ctx.value
+        if value == 0:
+            value = (EPOCH0, INF, NO_PARENT)
+            ctx.set_value(value)
+        return value
+
+    @staticmethod
+    def _as_update(vis_val: Any) -> tuple[tuple[int, int], int]:
+        """Normalise a REVERSE_ADD raw neighbour value to (epoch, dist)."""
+        if vis_val == 0:
+            return (EPOCH0, INF)
+        epoch, dist, _parent = vis_val
+        return (epoch, dist)
+
+    def _adopt_epoch(self, ctx: VertexContext, epoch: tuple[int, int]) -> None:
+        """Enter a strictly newer epoch: reset and flood it onward.
+
+        The reset is the §VI-B move: the new (epoch, value) pair sits
+        below every possible state of the old epoch, so monotonicity of
+        the combined state is preserved even though the raw distance
+        rose.
+        """
+        _e, _dist, parent = ctx.value
+        if parent == SELF:
+            ctx.set_value((epoch, 1, SELF))
+            ctx.update_nbrs(("R", epoch))
+            ctx.update_nbrs(("U", epoch, 1))
+        else:
+            ctx.set_value((epoch, INF, NO_PARENT))
+            ctx.update_nbrs(("R", epoch))
+
+    def _restart(self, ctx: VertexContext) -> None:
+        """Begin a fresh epoch at this vertex (support-breaking delete)."""
+        (counter, _init), _dist, _parent = ctx.value
+        self._adopt_epoch(ctx, (counter + 1, ctx.vertex))
+
+    # -- callbacks --------------------------------------------------------
+    def on_init(self, ctx: VertexContext, payload: Any) -> None:
+        epoch, _dist, _parent = self._ensure(ctx)
+        ctx.set_value((epoch, 1, SELF))
+        ctx.update_nbrs(("U", epoch, 1))
+
+    def on_add(self, ctx: VertexContext, vis_id: int, vis_val: Any, weight: int) -> None:
+        self._ensure(ctx)
+
+    def on_reverse_add(
+        self, ctx: VertexContext, vis_id: int, vis_val: Any, weight: int
+    ) -> None:
+        self._ensure(ctx)
+        epoch_n, dist_n = self._as_update(vis_val)
+        self._on_value(ctx, vis_id, epoch_n, dist_n, weight)
+
+    def on_update(self, ctx: VertexContext, vis_id: int, vis_val: Any, weight: int) -> None:
+        self._ensure(ctx)
+        if not ctx.has_edge(vis_id):
+            # In-flight event over an edge deleted in the meantime:
+            # using it would smuggle distance through a path that no
+            # longer exists.
+            return
+        kind = vis_val[0]
+        if kind == "U":
+            _, epoch_n, dist_n = vis_val
+            self._on_value(ctx, vis_id, epoch_n, dist_n, weight)
+        elif kind == "R":
+            _, epoch_n = vis_val
+            self._on_restart_flood(ctx, vis_id, epoch_n, weight)
+        else:  # pragma: no cover - corrupted payload
+            raise ValueError(f"unknown generational payload {vis_val!r}")
+
+    def on_delete(self, ctx: VertexContext, vis_id: int, weight: int) -> None:
+        self._handle_edge_removal(ctx, vis_id)
+
+    def on_reverse_delete(
+        self, ctx: VertexContext, vis_id: int, vis_val: Any, weight: int
+    ) -> None:
+        self._handle_edge_removal(ctx, vis_id)
+
+    # -- core logic --------------------------------------------------------
+    def _on_value(
+        self,
+        ctx: VertexContext,
+        nbr: int,
+        epoch_n: tuple[int, int],
+        dist_n: int,
+        weight: int,
+    ) -> None:
+        epoch, _dist, _parent = ctx.value
+        if epoch_n < epoch:
+            # Stale sender: pull it up into our epoch.
+            ctx.update_single_nbr(nbr, ("R", epoch), weight)
+            return
+        if epoch_n > epoch:
+            self._adopt_epoch(ctx, epoch_n)
+        self._relax(ctx, nbr, dist_n, weight)
+
+    def _on_restart_flood(
+        self, ctx: VertexContext, nbr: int, epoch_n: tuple[int, int], weight: int
+    ) -> None:
+        epoch, dist, _parent = ctx.value
+        if epoch_n < epoch:
+            ctx.update_single_nbr(nbr, ("R", epoch), weight)
+            return
+        if epoch_n > epoch:
+            self._adopt_epoch(ctx, epoch_n)
+            return
+        # Same epoch: the sender just reset; offer our distance if we
+        # have one (it may have missed our earlier broadcast).
+        if dist < INF:
+            ctx.update_single_nbr(nbr, ("U", epoch, dist), weight)
+
+    def _relax(self, ctx: VertexContext, nbr: int, dist_n: int, weight: int) -> None:
+        epoch, dist, parent = ctx.value
+        step = self.hop_cost(weight)
+        candidate = dist_n + step if dist_n < INF else INF
+        if candidate < dist:
+            ctx.set_value((epoch, candidate, nbr))
+            ctx.update_nbrs(("U", epoch, candidate))
+        elif dist < INF and dist + step < dist_n:
+            # We are the better side: notify back the visitor.
+            ctx.update_single_nbr(nbr, ("U", epoch, dist), weight)
+
+    def _handle_edge_removal(self, ctx: VertexContext, nbr: int) -> None:
+        value = ctx.value
+        if value == 0:
+            return
+        _epoch, _dist, parent = value
+        if parent == nbr:
+            # The deleted edge supported our distance: restart the
+            # component in a fresh epoch.
+            self._restart(ctx)
+
+    def format_value(self, value: Any) -> str:
+        if value == 0:
+            return "unseen"
+        (counter, initiator), dist, _ = value
+        return f"e{counter}.{initiator}:{'inf' if dist >= INF else dist}"
+
+
+class GenerationalBFS(_GenerationalDistance):
+    """BFS levels with edge-delete support (state generations)."""
+
+    name = "gen-bfs"
+
+    def hop_cost(self, weight: int) -> int:
+        return 1
+
+
+class GenerationalSSSP(_GenerationalDistance):
+    """Shortest-path costs with edge-delete support (state generations)."""
+
+    name = "gen-sssp"
+
+    def hop_cost(self, weight: int) -> int:
+        return weight
+
+
+class GenerationalCC(VertexProgram):
+    """Connected components with edge-delete support.
+
+    A delete reseeds the affected component into a new generation (every
+    member resets its label to its own hash) and re-runs max-label
+    propagation — asynchronously, concurrently with ongoing adds.
+    State: ``(gen, label)``.
+    """
+
+    name = "gen-cc"
+    snapshot_mode = "replay"
+
+    @staticmethod
+    def _ensure(ctx: VertexContext) -> tuple[int, int]:
+        value = ctx.value
+        if value == 0:
+            value = (0, component_label(ctx.vertex))
+            ctx.set_value(value)
+        return value
+
+    def on_add(self, ctx: VertexContext, vis_id: int, vis_val: Any, weight: int) -> None:
+        self._ensure(ctx)
+
+    def on_reverse_add(
+        self, ctx: VertexContext, vis_id: int, vis_val: Any, weight: int
+    ) -> None:
+        self._ensure(ctx)
+        if vis_val == 0:
+            gen_n, label_n = 0, component_label(vis_id)
+        else:
+            gen_n, label_n = vis_val
+        self._merge_label(ctx, vis_id, gen_n, label_n, weight)
+
+    def on_update(self, ctx: VertexContext, vis_id: int, vis_val: Any, weight: int) -> None:
+        self._ensure(ctx)
+        if not ctx.has_edge(vis_id):
+            # Event over a since-deleted edge: a label crossing it would
+            # leak the old component's identity across the split.
+            return
+        kind = vis_val[0]
+        if kind == "R":
+            _, gen_n = vis_val
+            self._on_reseed(ctx, vis_id, gen_n, weight)
+        elif kind == "L":
+            _, gen_n, label_n = vis_val
+            self._merge_label(ctx, vis_id, gen_n, label_n, weight)
+        else:  # pragma: no cover - corrupted payload
+            raise ValueError(f"unknown generational payload {vis_val!r}")
+
+    def on_delete(self, ctx: VertexContext, vis_id: int, weight: int) -> None:
+        self._reseed_component(ctx)
+
+    def on_reverse_delete(
+        self, ctx: VertexContext, vis_id: int, vis_val: Any, weight: int
+    ) -> None:
+        self._reseed_component(ctx)
+
+    # -- core logic --------------------------------------------------------
+    def _reseed_component(self, ctx: VertexContext) -> None:
+        value = ctx.value
+        if value == 0:
+            return
+        gen, _label = value
+        new_gen = gen + 1
+        ctx.set_value((new_gen, component_label(ctx.vertex)))
+        ctx.update_nbrs(("R", new_gen))
+
+    def _on_reseed(self, ctx: VertexContext, nbr: int, gen_n: int, weight: int) -> None:
+        gen, label = ctx.value
+        if gen_n > gen:
+            # Join the new generation: reset to our own hash and flood.
+            gen, label = gen_n, component_label(ctx.vertex)
+            ctx.set_value((gen, label))
+            ctx.update_nbrs(("R", gen_n))
+            # Exchange labels with the reseeding neighbour right away.
+            ctx.update_single_nbr(nbr, ("L", gen, label), weight)
+        elif gen_n == gen:
+            ctx.update_single_nbr(nbr, ("L", gen, label), weight)
+        else:
+            # The sender's wave is stale: pull it up to our generation.
+            ctx.update_single_nbr(nbr, ("R", gen), weight)
+
+    def _merge_label(
+        self, ctx: VertexContext, nbr: int, gen_n: int, label_n: int, weight: int
+    ) -> None:
+        gen, label = ctx.value
+        if gen_n > gen:
+            # Implicit reseed (the label raced ahead of the R-flood).
+            gen, label = gen_n, component_label(ctx.vertex)
+            ctx.set_value((gen, label))
+            ctx.update_nbrs(("R", gen_n))
+        elif gen_n < gen:
+            # They are stale; bring them into our generation.
+            ctx.update_single_nbr(nbr, ("R", gen), weight)
+            return
+        if label_n > label:
+            ctx.set_value((gen, label_n))
+            ctx.update_nbrs(("L", gen, label_n))
+        elif label_n < label:
+            ctx.update_single_nbr(nbr, ("L", gen, label), weight)
+
+    def format_value(self, value: Any) -> str:
+        if value == 0:
+            return "unseen"
+        gen, label = value
+        return f"g{gen}:comp:{label:016x}"

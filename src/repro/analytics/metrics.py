@@ -1,0 +1,81 @@
+"""Throughput and cost reporting for simulated runs.
+
+Turns a finished engine's counters and virtual clocks into the metrics
+the paper's evaluation reports: topology events per (virtual) second,
+message volumes, per-rank utilisation, and the construction-vs-algorithm
+cost split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.timers import format_rate, format_seconds
+
+
+@dataclass(frozen=True)
+class ThroughputReport:
+    """Summary of one dynamic run."""
+
+    n_ranks: int
+    source_events: int
+    makespan: float  # virtual seconds
+    visits: int
+    edge_inserts: int
+    edge_deletes: int
+    messages_local: int
+    messages_remote: int
+    control_messages: int
+    busy_time_total: float
+    wall_seconds: float | None = None
+
+    @property
+    def events_per_second(self) -> float:
+        """Topology events per virtual second — the headline metric."""
+        return self.source_events / self.makespan if self.makespan > 0 else 0.0
+
+    @property
+    def mean_utilisation(self) -> float:
+        """Average fraction of the makespan each rank spent busy."""
+        if self.makespan <= 0 or self.n_ranks == 0:
+            return 0.0
+        return self.busy_time_total / (self.makespan * self.n_ranks)
+
+    @property
+    def visits_per_event(self) -> float:
+        """Algorithm work amplification: callbacks per topology event."""
+        return self.visits / self.source_events if self.source_events else 0.0
+
+    def summary(self) -> str:
+        lines = [
+            f"ranks={self.n_ranks} events={self.source_events:,} "
+            f"makespan={format_seconds(self.makespan)} "
+            f"rate={format_rate(self.source_events, self.makespan)}",
+            f"  visits={self.visits:,} ({self.visits_per_event:.2f}/event) "
+            f"inserts={self.edge_inserts:,} deletes={self.edge_deletes:,}",
+            f"  msgs local={self.messages_local:,} remote={self.messages_remote:,} "
+            f"ctrl={self.control_messages:,} util={self.mean_utilisation:.1%}",
+        ]
+        if self.wall_seconds is not None:
+            lines.append(
+                f"  simulator wall time: {format_seconds(self.wall_seconds)}"
+            )
+        return "\n".join(lines)
+
+
+def throughput_report(engine, wall_seconds: float | None = None) -> ThroughputReport:
+    """Build a :class:`ThroughputReport` from a (finished) engine."""
+    total = engine.total_counters()
+    return ThroughputReport(
+        n_ranks=engine.config.n_ranks,
+        source_events=total.source_events,
+        makespan=engine.loop.max_time(),
+        visits=total.visits,
+        edge_inserts=total.edge_inserts,
+        edge_deletes=total.edge_deletes,
+        messages_local=total.messages_sent_local,
+        messages_remote=total.messages_sent_remote,
+        control_messages=total.control_messages,
+        busy_time_total=total.busy_time,
+        wall_seconds=wall_seconds,
+    )

@@ -1,0 +1,213 @@
+"""Command-line front end: stream a synthetic graph through the engine.
+
+Usage (also available as ``python -m repro``)::
+
+    python -m repro run --graph twitter --algo bfs --nodes 2
+    python -m repro run --graph rmat --scale 12 --algo cc --verify
+    python -m repro run --graph friendster --algo st --sources 4 \
+        --snapshot-at 0.5 --verify
+    python -m repro generate --graph rmat --scale 14 -o stream.txt
+    python -m repro run --input stream.txt --algo bfs --verify
+
+``run`` generates the requested workload, ingests it at saturation on a
+simulated cluster, optionally takes a versioned global-state snapshot
+at a fraction of the (estimated) stream, optionally verifies against
+the static oracle, and prints the throughput report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.algorithms import (
+    DeterministicBFS,
+    IncrementalBFS,
+    IncrementalCC,
+    IncrementalSSSP,
+    MultiSTConnectivity,
+)
+from repro.analytics import (
+    throughput_report,
+    verify_bfs,
+    verify_cc,
+    verify_sssp,
+    verify_st,
+)
+from repro.comm.costmodel import CostModel
+from repro.events.io import read_edge_npz, read_edge_text, write_edge_npz, write_edge_text
+from repro.events.stream import split_streams
+from repro.generators import DATASET_PRESETS, generate_preset, rmat_edges
+from repro.generators.weights import pairwise_weights
+from repro.runtime.engine import DynamicEngine, EngineConfig
+from repro.util.timers import WallTimer
+
+GRAPH_CHOICES = sorted(set(DATASET_PRESETS) | {"rmat"})
+ALGO_CHOICES = ["con", "bfs", "det-bfs", "sssp", "cc", "st"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Incremental graph processing on a simulated cluster",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    run = sub.add_parser("run", help="stream a synthetic graph through an algorithm")
+    run.add_argument("--input", default=None, metavar="FILE",
+                     help="read events from an edge file (.txt or .npz) "
+                          "instead of generating a graph")
+    run.add_argument("--graph", choices=GRAPH_CHOICES, default="rmat")
+    run.add_argument("--scale", type=int, default=10, help="log2 vertex universe")
+    run.add_argument("--edge-factor", type=int, default=16)
+    run.add_argument("--algo", choices=ALGO_CHOICES, default="bfs")
+    run.add_argument("--nodes", type=int, default=1)
+    run.add_argument("--ranks-per-node", type=int, default=4)
+    run.add_argument("--sources", type=int, default=1, help="S-T source count")
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--snapshot-at",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="take a versioned snapshot at this fraction of the stream",
+    )
+    run.add_argument("--verify", action="store_true", help="check vs static oracle")
+    gen = sub.add_parser("generate", help="write a synthetic workload to an edge file")
+    gen.add_argument("--graph", choices=GRAPH_CHOICES, default="rmat")
+    gen.add_argument("--scale", type=int, default=10)
+    gen.add_argument("--edge-factor", type=int, default=16)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--weights", action="store_true", help="attach pairwise weights")
+    gen.add_argument("-o", "--output", required=True, metavar="FILE",
+                     help="destination (.txt or .npz)")
+    return parser
+
+
+def _make_programs(algo: str, src: np.ndarray, sources: int):
+    source = int(src[0])
+    if algo == "con":
+        return [], [], None
+    if algo == "bfs":
+        return [IncrementalBFS()], [("bfs", source, None)], source
+    if algo == "det-bfs":
+        return [DeterministicBFS()], [("det-bfs", source, None)], source
+    if algo == "sssp":
+        return [IncrementalSSSP()], [("sssp", source, None)], source
+    if algo == "cc":
+        return [IncrementalCC()], [], None
+    st = MultiSTConnectivity()
+    seen: list[int] = []
+    for v in src:
+        if int(v) not in seen:
+            seen.append(int(v))
+        if len(seen) >= sources:
+            break
+    init = [("st", s, st.register_source(s)) for s in seen]
+    return [st], init, seen
+
+
+def _generate(args: argparse.Namespace, rng: np.random.Generator):
+    if args.graph == "rmat":
+        src, dst = rmat_edges(args.scale, edge_factor=args.edge_factor, rng=rng)
+        label = f"RMAT scale {args.scale}"
+    else:
+        src, dst, preset = generate_preset(
+            args.graph, rng, scale=args.scale, edge_factor=args.edge_factor
+        )
+        label = preset.describe()
+    return src, dst, label
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    src, dst, label = _generate(args, rng)
+    weights = pairwise_weights(src, dst, 1, 50) if args.weights else None
+    if args.output.endswith(".npz"):
+        write_edge_npz(args.output, src, dst, weights)
+    else:
+        write_edge_text(args.output, src, dst, weights, header=label)
+    print(f"wrote {len(src):,} events ({label}) to {args.output}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    if args.input is not None:
+        reader = read_edge_npz if args.input.endswith(".npz") else read_edge_text
+        stream = reader(args.input)
+        events = list(stream)
+        src = np.array([e[1] for e in events], dtype=np.int64)
+        dst = np.array([e[2] for e in events], dtype=np.int64)
+        weights = np.array([e[3] for e in events], dtype=np.int64)
+        print(f"input: {args.input}, {len(src):,} events")
+    else:
+        src, dst, label = _generate(args, rng)
+        print(f"graph: {label}, {len(src):,} edges")
+        weights = pairwise_weights(src, dst, 1, 50) if args.algo == "sssp" else None
+
+    programs, init, source_info = _make_programs(args.algo, src, args.sources)
+    n_ranks = args.nodes * args.ranks_per_node
+    engine = DynamicEngine(
+        programs,
+        EngineConfig(n_ranks=n_ranks),
+        cost_model=CostModel(ranks_per_node=args.ranks_per_node),
+    )
+    for prog, vertex, payload in init:
+        engine.init_program(prog, vertex, payload=payload)
+    engine.attach_streams(
+        split_streams(src, dst, n_ranks, weights=weights, rng=rng)
+    )
+    if args.snapshot_at is not None and programs:
+        cm = engine.cost
+        per_event = cm.stream_pull_cpu + 2 * (
+            cm.edge_insert_cpu + cm.visit_cpu + cm.send_cpu
+        )
+        est = len(src) * per_event / n_ranks
+        engine.request_collection(programs[0].name, at_time=args.snapshot_at * est)
+
+    with WallTimer() as timer:
+        engine.run()
+    print(throughput_report(engine, wall_seconds=timer.elapsed).summary())
+
+    for res in engine.collection_results:
+        print(
+            f"snapshot #{res.collection_id}: {res.vertices_collected:,} vertices, "
+            f"latency {res.latency * 1e6:.0f}us ({res.probe_waves} probe waves)"
+        )
+
+    if args.verify:
+        if args.algo in ("bfs",):
+            mismatches = verify_bfs(engine, "bfs", source_info)
+        elif args.algo == "det-bfs":
+            mismatches = verify_bfs(
+                engine, "det-bfs", source_info, value_of=lambda v: v[0]
+            )
+        elif args.algo == "sssp":
+            mismatches = verify_sssp(engine, "sssp", source_info)
+        elif args.algo == "cc":
+            mismatches = verify_cc(engine, "cc")
+        elif args.algo == "st":
+            mismatches = verify_st(engine, "st", source_info)
+        else:
+            print("verify: nothing to verify for construction-only")
+            return 0
+        if mismatches:
+            print(f"VERIFY FAILED: {len(mismatches)} mismatches, e.g. {mismatches[0]}")
+            return 1
+        print("verify: OK (dynamic state equals static oracle)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return cmd_run(args)
+    if args.command == "generate":
+        return cmd_generate(args)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

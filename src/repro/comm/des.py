@@ -1,0 +1,297 @@
+"""Conservative discrete-event kernel for the simulated cluster.
+
+Model
+-----
+Each rank is an actor with a virtual clock (``clock[r]`` = the time at
+which rank *r* next becomes free).  A rank's next action is:
+
+* process the earliest-arrived inbox message, or
+* if its inbox holds nothing it could process right now and its source
+  stream is live, pull one topology event ("each rank pulling a topology
+  event as soon as local work is completed", §V-A), or
+* idle until the next message arrives.
+
+The kernel executes actions in **global virtual-time order**, which makes
+the simulation conservative (causally correct): when an action at time
+*t* runs, every other rank's next action is at ≥ *t*, so no message that
+should have arrived before *t* can materialise later.
+
+Channels
+--------
+Messages between a (sender, receiver) pair form a FIFO channel: arrival
+time is ``max(departure + latency, previous arrival on the channel)``.
+This is the property §III-C relies on to serialise undirected edge
+creation, and §IV relies on to order same-vertex events.
+
+Handlers
+--------
+The kernel is policy-free; behaviour lives in a :class:`RankHandler`
+(the dynamic engine, or toy handlers in tests).  During a callback the
+handler advances its own clock with :meth:`DiscreteEventLoop.consume`
+and sends with :meth:`DiscreteEventLoop.send`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from repro.comm.costmodel import CostModel
+from repro.util.validate import check_positive
+
+_INF = float("inf")
+
+
+class RankHandler:
+    """Behaviour plugged into the kernel (subclass or duck-type).
+
+    ``on_message`` / ``pull_source`` run as the acting rank: they should
+    call ``loop.consume(rank, cpu)`` for the work they model and may call
+    ``loop.send``.  ``pull_source`` returns False when the rank's stream
+    is exhausted (the kernel then stops offering pulls to that rank).
+    """
+
+    def on_message(self, loop: "DiscreteEventLoop", rank: int, msg: Any) -> None:
+        raise NotImplementedError
+
+    def pull_source(self, loop: "DiscreteEventLoop", rank: int) -> bool:
+        return False
+
+
+class DiscreteEventLoop:
+    """The simulation kernel.  See module docstring for the model."""
+
+    def __init__(self, n_ranks: int, cost_model: CostModel, handler: RankHandler):
+        check_positive("n_ranks", n_ranks)
+        self.n_ranks = int(n_ranks)
+        self.cost = cost_model
+        self.handler = handler
+        self.clock = [0.0] * self.n_ranks
+        # inbox[r]: heap of (arrival_time, seq, msg); the priority inbox
+        # models a separate control lane (probes/reports/cuts) that real
+        # middleware services ahead of the data backlog.
+        self._inbox: list[list[tuple[float, int, Any]]] = [[] for _ in range(self.n_ranks)]
+        self._inbox_prio: list[list[tuple[float, int, Any]]] = [
+            [] for _ in range(self.n_ranks)
+        ]
+        self._channel_last: dict[tuple[int, int, bool], float] = {}
+        self._actions: list[tuple[float, int, int]] = []  # (time, seq, rank)
+        self._alarms: list[tuple[float, int, Callable[[], None]]] = []
+        self._scheduled: list[float | None] = [None] * self.n_ranks
+        self._seq = 0
+        self._source_active = [True] * self.n_ranks
+        self.in_flight = 0  # messages sent but not yet handled
+        self.messages_delivered = 0
+        self.actions_executed = 0
+        self.stall_time = 0.0  # total backpressure stalls (virtual s)
+        self._acting_rank: int | None = None
+
+    # ------------------------------------------------------------------
+    # time & scheduling primitives
+    # ------------------------------------------------------------------
+    def now(self, rank: int) -> float:
+        """Rank *r*'s current virtual time (its busy-until point)."""
+        return self.clock[rank]
+
+    def max_time(self) -> float:
+        """The makespan so far: the furthest-ahead rank clock."""
+        return max(self.clock)
+
+    def consume(self, rank: int, cpu_seconds: float) -> None:
+        """Advance ``rank``'s clock by modelled CPU work."""
+        self.clock[rank] += cpu_seconds
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    def _action_time(self, rank: int) -> float | None:
+        """When ``rank`` will next act, or None if it has nothing to do."""
+        if self._source_active[rank]:
+            # The rank never waits while its stream is live: at its own
+            # clock it processes an already-arrived message, else pulls.
+            return self.clock[rank]
+        inbox, prio = self._inbox[rank], self._inbox_prio[rank]
+        if not inbox and not prio:
+            return None
+        earliest = min(
+            (q[0][0] for q in (inbox, prio) if q), default=None
+        )
+        return max(self.clock[rank], earliest)
+
+    def _reschedule(self, rank: int) -> None:
+        t = self._action_time(rank)
+        self._scheduled[rank] = t
+        if t is not None:
+            heapq.heappush(self._actions, (t, self._next_seq(), rank))
+
+    def send(
+        self, src_rank: int, dst_rank: int, msg: Any, priority: bool = False
+    ) -> None:
+        """Send ``msg`` from the acting rank ``src_rank`` to ``dst_rank``.
+
+        Charges ``send_cpu`` to the sender and delivers after the
+        channel's FIFO-respecting latency.  Self-sends are legal (a rank
+        queueing a visitor to itself) and use the local latency.
+        ``priority`` routes over the control lane: FIFO with respect to
+        other control messages on the same channel, and serviced by the
+        receiver ahead of any queued data backlog.
+
+        Flow control: sending into a receiver whose data backlog exceeds
+        ``cost.channel_capacity`` stalls the sender (its clock advances)
+        proportionally to the excess — the DES analogue of a blocking
+        MPI send into full buffers.  Control-lane sends are exempt.
+        """
+        self.consume(src_rank, self.cost.send_cpu)
+        if not priority and src_rank != dst_rank:
+            excess = len(self._inbox[dst_rank]) - self.cost.channel_capacity
+            if excess > 0:
+                # Blocking-send semantics: wait until the receiver will
+                # have drained back to capacity.  The horizon is the
+                # receiver's clock plus its excess backlog at its
+                # per-message service rate; advancing to a horizon is
+                # idempotent, so a stalled sender is not charged again
+                # for the same backlog.
+                horizon = (
+                    self.clock[dst_rank]
+                    + excess * self.cost.backpressure_stall_cpu
+                )
+                if horizon > self.clock[src_rank]:
+                    self.stall_time += horizon - self.clock[src_rank]
+                    self.clock[src_rank] = horizon
+        self._deliver(self.clock[src_rank], src_rank, dst_rank, msg, priority)
+
+    def send_at(
+        self,
+        time: float,
+        src_rank: int,
+        dst_rank: int,
+        msg: Any,
+        priority: bool = False,
+    ) -> None:
+        """Inject a message departing ``src_rank`` at ≥ ``time``.
+
+        Used by alarms (e.g. a global-state collection request arriving
+        from outside the cluster at a wall-clock instant): the message
+        leaves at ``max(time, clock[src])`` without charging CPU.
+        """
+        self._deliver(
+            max(time, self.clock[src_rank]), src_rank, dst_rank, msg, priority
+        )
+
+    def _deliver(
+        self, departure: float, src_rank: int, dst_rank: int, msg: Any, priority: bool
+    ) -> None:
+        latency = self.cost.latency(src_rank, dst_rank)
+        key = (src_rank, dst_rank, priority)
+        arrival = max(departure + latency, self._channel_last.get(key, 0.0))
+        self._channel_last[key] = arrival
+        queue = self._inbox_prio[dst_rank] if priority else self._inbox[dst_rank]
+        heapq.heappush(queue, (arrival, self._next_seq(), msg))
+        self.in_flight += 1
+        # A new arrival can move the receiver's next action earlier.
+        cur = self._scheduled[dst_rank]
+        if dst_rank != self._acting_rank and (cur is None or arrival < cur):
+            self._reschedule(dst_rank)
+
+    def schedule_alarm(self, time: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` when global virtual time first reaches ``time``.
+
+        Alarms model external stimuli (a user asking for a snapshot at
+        t = 15 s); the callback typically calls :meth:`send_at`.
+        """
+        heapq.heappush(self._alarms, (time, self._next_seq(), callback))
+
+    def set_source_active(self, rank: int, active: bool) -> None:
+        """(De)activate a rank's source stream (engine wiring)."""
+        self._source_active[rank] = bool(active)
+        if active and rank != self._acting_rank:
+            self._reschedule(rank)
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Schedule initial actions; call once before :meth:`run`."""
+        for rank in range(self.n_ranks):
+            self._reschedule(rank)
+
+    def quiescent(self) -> bool:
+        """Oracle quiescence: nothing in flight, queued, or pullable.
+
+        This is ground truth the *distributed* detector in
+        :mod:`repro.comm.termination` is tested against; the engine's
+        algorithms must not rely on it.
+        """
+        return (
+            self.in_flight == 0
+            and all(not ib for ib in self._inbox)
+            and all(not ib for ib in self._inbox_prio)
+            and not any(self._source_active)
+        )
+
+    def run(
+        self,
+        max_virtual_time: float | None = None,
+        max_actions: int | None = None,
+    ) -> float:
+        """Execute actions in global time order until nothing remains.
+
+        Returns the makespan (max rank clock).  ``max_virtual_time`` and
+        ``max_actions`` bound the run for tests/debugging.
+        """
+        actions = self._actions
+        executed = 0
+        while actions or self._alarms:
+            # Fire any alarms due before the next rank action.
+            next_action_t = actions[0][0] if actions else _INF
+            while self._alarms and self._alarms[0][0] <= next_action_t:
+                _, _, cb = heapq.heappop(self._alarms)
+                cb()
+                next_action_t = actions[0][0] if actions else _INF
+            if not actions:
+                if self._alarms and self.quiescent():
+                    # Only alarms remain and the cluster is silent: fire
+                    # them in order (they may inject new work).
+                    t, _, cb = heapq.heappop(self._alarms)
+                    cb()
+                    continue
+                break
+            t, _, rank = heapq.heappop(actions)
+            if self._scheduled[rank] != t:
+                continue  # stale entry
+            if max_virtual_time is not None and t > max_virtual_time:
+                heapq.heappush(actions, (t, self._next_seq(), rank))
+                self._scheduled[rank] = t
+                break
+            self._scheduled[rank] = None
+            self._execute(rank, t)
+            executed += 1
+            self.actions_executed += 1
+            if max_actions is not None and executed >= max_actions:
+                self._reschedule(rank)
+                break
+        return self.max_time()
+
+    def _execute(self, rank: int, t: float) -> None:
+        now = max(self.clock[rank], t)
+        prio = self._inbox_prio[rank]
+        inbox = prio if prio and prio[0][0] <= now else self._inbox[rank]
+        self._acting_rank = rank
+        try:
+            if inbox and inbox[0][0] <= now:
+                arrival, _, msg = heapq.heappop(inbox)
+                self.clock[rank] = max(self.clock[rank], arrival)
+                self.in_flight -= 1
+                self.messages_delivered += 1
+                self.handler.on_message(self, rank, msg)
+            elif self._source_active[rank]:
+                self.clock[rank] = max(self.clock[rank], t)
+                if not self.handler.pull_source(self, rank):
+                    self._source_active[rank] = False
+            else:
+                # Stale wake-up with an inbox drained meanwhile: no-op.
+                pass
+        finally:
+            self._acting_rank = None
+        self._reschedule(rank)

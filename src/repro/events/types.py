@@ -1,0 +1,56 @@
+"""Topology-event kinds and the boxed event record.
+
+Two representations coexist deliberately:
+
+* **hot path** — a bare tuple ``(kind, src, dst, weight)``; every stream
+  yields these, and the simulator routes them without boxing.
+* **API path** — :class:`EdgeEvent`, an immutable record with named
+  fields, used at user-facing boundaries (callbacks, logs, tests).
+
+Kinds cover the paper's scope: ``ADD`` for incremental topology changes
+(§II; attribute updates are modelled as re-adds with a new weight, which
+the paper treats "similar to an addition") and ``DELETE`` for the
+decremental extension of §VI-B.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+ADD = 0
+DELETE = 1
+
+_KIND_NAMES = {ADD: "ADD", DELETE: "DELETE"}
+
+
+def kind_name(kind: int) -> str:
+    """Human-readable name of an event kind."""
+    try:
+        return _KIND_NAMES[kind]
+    except KeyError:
+        raise ValueError(f"unknown event kind {kind!r}") from None
+
+
+class EdgeEvent(NamedTuple):
+    """A boxed topology event.
+
+    ``EdgeEvent`` is itself a 4-tuple in hot-path order, so it can be fed
+    anywhere a bare event tuple is accepted.
+    """
+
+    kind: int
+    src: int
+    dst: int
+    weight: int = 1
+
+    @classmethod
+    def add(cls, src: int, dst: int, weight: int = 1) -> "EdgeEvent":
+        return cls(ADD, src, dst, weight)
+
+    @classmethod
+    def delete(cls, src: int, dst: int) -> "EdgeEvent":
+        return cls(DELETE, src, dst, 0)
+
+    def __repr__(self) -> str:
+        w = f", w={self.weight}" if self.kind == ADD and self.weight != 1 else ""
+        return f"{kind_name(self.kind)}({self.src}->{self.dst}{w})"

@@ -1,0 +1,44 @@
+"""Erdős–Rényi (uniform random) edge generator.
+
+The structureless control: no degree skew, no locality.  Used by tests
+(where uniform randomness is the easiest case to reason about) and as the
+flat-degree contrast in the partitioning ablation — consistent hashing
+balances edges on ER streams but not on power-law streams, which is
+exactly the §III-C caveat.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validate import check_positive
+
+
+def erdos_renyi_edges(
+    n: int,
+    n_edges: int,
+    rng: np.random.Generator | None = None,
+    allow_self_loops: bool = False,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample ``n_edges`` uniform directed edges over ``n`` vertices.
+
+    Sampling is with replacement (the G(n, M)-with-multiplicity model):
+    duplicates are possible, matching the multi-edge streams the dynamic
+    engine must tolerate.  Self-loops are rejected and resampled unless
+    ``allow_self_loops``.
+    """
+    check_positive("n", n)
+    check_positive("n_edges", n_edges)
+    if n < 2 and not allow_self_loops:
+        raise ValueError("need n >= 2 to sample loop-free edges")
+    if rng is None:
+        rng = np.random.default_rng()
+
+    src = rng.integers(0, n, size=n_edges, dtype=np.int64)
+    dst = rng.integers(0, n, size=n_edges, dtype=np.int64)
+    if not allow_self_loops:
+        loops = src == dst
+        while loops.any():
+            dst[loops] = rng.integers(0, n, size=int(loops.sum()), dtype=np.int64)
+            loops = src == dst
+    return src, dst

@@ -1,0 +1,26 @@
+"""Vertex partitioning across ranks (§III-C).
+
+The paper assigns vertex ``V`` to process ``hash(V) mod P`` — a form of
+consistent hashing so any process can locate any vertex's owner in
+constant time with no communication, at the cost of edge imbalance on
+power-law graphs.  We provide that partitioner, two baselines (modulo on
+the raw ID and contiguous blocks), and balance diagnostics used by the
+partitioning ablation bench.
+"""
+
+from repro.partition.partitioners import (
+    BlockPartitioner,
+    ConsistentHashPartitioner,
+    ModuloPartitioner,
+    Partitioner,
+)
+from repro.partition.stats import PartitionStats, measure_balance
+
+__all__ = [
+    "BlockPartitioner",
+    "ConsistentHashPartitioner",
+    "ModuloPartitioner",
+    "Partitioner",
+    "PartitionStats",
+    "measure_balance",
+]

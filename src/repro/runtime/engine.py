@@ -1,0 +1,778 @@
+"""The dynamic graph engine (Fig. 1 / Fig. 2 of the paper).
+
+The engine plugs into the discrete-event kernel as the behaviour of every
+rank: it owns each rank's DegAwareRHH topology store and per-program
+vertex values, routes topology events to vertex owners via consistent
+hashing, dispatches the Alg.-3 visitor switch (ADD / REVERSE_ADD /
+UPDATE / INIT, plus DELETE for the §VI-B extension), and runs the
+control plane: four-counter termination probes and versioned global
+state collection (§III-D).
+
+Orderings the algorithms rely on (provided by
+:class:`repro.comm.des.DiscreteEventLoop`'s FIFO channels):
+
+* undirected edge creation is serialised — the ADD is processed at the
+  source's owner before the REVERSE_ADD is even sent (§III-C);
+* events touching the same vertex are processed one at a time, in
+  arrival order ("ordered in the infrastructure layer by the built-in
+  visitor queue in FIFO ordering", §IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from repro.comm.costmodel import CostModel, RankCounters
+from repro.comm.des import DiscreteEventLoop, RankHandler
+from repro.comm.termination import FourCounterState, TerminationCoordinator
+from repro.events.stream import EventStream
+from repro.events.types import ADD as EV_ADD
+from repro.partition.partitioners import ConsistentHashPartitioner, Partitioner
+from repro.runtime.program import VertexContext, VertexProgram
+from repro.runtime.queries import Trigger, TriggerManager
+from repro.runtime.snapshot import ActiveCollection, CollectionResult
+from repro.runtime.visitor import (
+    CTRL_CUT,
+    CTRL_HARVEST,
+    CTRL_PART,
+    CTRL_PROBE,
+    CTRL_REPORT,
+    VT_ADD,
+    VT_CTRL,
+    VT_DEL,
+    VT_INIT,
+    VT_RADD,
+    VT_RDEL,
+    VT_UPDATE,
+)
+from repro.storage.degaware import DegAwareRHH
+from repro.util.validate import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Construction-time knobs of the engine."""
+
+    n_ranks: int = 1
+    undirected: bool = True
+    promote_threshold: int = 8
+    vertex_index: str = "robinhood"
+    partition_salt: int = 0
+    coordinator_rank: int = 0
+    probe_backoff: float = 20e-6  # virtual pause between probe waves
+
+    def __post_init__(self) -> None:
+        check_positive("n_ranks", self.n_ranks)
+        check_positive("promote_threshold", self.promote_threshold)
+        check_non_negative("probe_backoff", self.probe_backoff)
+        if not 0 <= self.coordinator_rank < self.n_ranks:
+            raise ValueError("coordinator_rank out of range")
+
+
+class DynamicEngine(RankHandler):
+    """Hosts one or more vertex programs over a simulated cluster.
+
+    Parameters
+    ----------
+    programs:
+        The algorithm instances to maintain.  Unlike the paper's
+        prototype (limited to one hooked algorithm), several programs
+        may run concurrently over the same topology — the stated design
+        intent of §I.
+    config:
+        :class:`EngineConfig`; ``EngineConfig(n_ranks=...)`` is typical.
+    cost_model / partitioner:
+        Default to the calibrated :class:`CostModel` and the paper's
+        consistent-hash partitioner.
+    """
+
+    def __init__(
+        self,
+        programs: list[VertexProgram],
+        config: EngineConfig | None = None,
+        cost_model: CostModel | None = None,
+        partitioner: Partitioner | None = None,
+    ):
+        self.config = config or EngineConfig()
+        self.cost = cost_model or CostModel()
+        n = self.config.n_ranks
+        self.partitioner = partitioner or ConsistentHashPartitioner(
+            n, salt=self.config.partition_salt
+        )
+        if self.partitioner.n_ranks != n:
+            raise ValueError(
+                f"partitioner rank count {self.partitioner.n_ranks} != n_ranks {n}"
+            )
+        # An empty program list is legal: it gives the construction-only
+        # (CON) configuration the evaluation uses as its baseline.
+        names = [p.name for p in programs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate program names: {names}")
+        self.programs = list(programs)
+        self.loop = DiscreteEventLoop(n, self.cost, self)
+        self.stores = [
+            DegAwareRHH(self.config.promote_threshold, self.config.vertex_index)
+            for _ in range(n)
+        ]
+        # values[rank][prog]: vid -> S_new (or sole) value; 0 = unset
+        self.values: list[list[dict[int, Any]]] = [
+            [dict() for _ in programs] for _ in range(n)
+        ]
+        self._nbr_cache: list[list[dict[int, dict[int, Any]] | None]] = [
+            [dict() if p.needs_nbr_cache else None for p in programs] for _ in range(n)
+        ]
+        self._ctx = [
+            [VertexContext(self, r, p) for p in range(len(programs))] for r in range(n)
+        ]
+        self.counters = [RankCounters() for _ in range(n)]
+        self.term = [FourCounterState() for _ in range(n)]
+        self.triggers = TriggerManager()
+        self.stream_version = [0] * n
+        self._proc_version = [0] * n
+        self._suppress_sends = [False] * n
+        self._cb_effect = [False] * n
+        self._edge_was_new = [True] * n
+        self._streams: list[EventStream | None] = [None] * n
+        self._stream_done = [True] * n
+        self.active_collection: ActiveCollection | None = None
+        self._prev_vals: list[dict[int, Any]] = [dict() for _ in range(n)]
+        self.collection_results: list[CollectionResult] = []
+        # collection_id -> {rank: source events ingested at its cut}
+        self.cut_positions: dict[int, dict[int, int]] = {}
+        self._pending_collections: list[tuple[int, Any]] = []
+        self._next_version = 1
+        self._next_collection_id = 0
+        self._started = False
+        for r in range(n):
+            self.loop.set_source_active(r, False)
+
+    # ------------------------------------------------------------------
+    # public API: setup and execution
+    # ------------------------------------------------------------------
+    def prog_index(self, name_or_index: int | str) -> int:
+        """Resolve a program by name or index."""
+        if isinstance(name_or_index, int):
+            if not 0 <= name_or_index < len(self.programs):
+                raise ValueError(f"program index {name_or_index} out of range")
+            return name_or_index
+        for i, p in enumerate(self.programs):
+            if p.name == name_or_index:
+                return i
+        raise ValueError(f"no program named {name_or_index!r}")
+
+    def attach_streams(self, streams: Iterable[EventStream]) -> None:
+        """Attach one ordered event stream per rank (at most ``n_ranks``).
+
+        Streams are assigned to ranks in order; ranks beyond the list
+        have no source.  Must be called before :meth:`run`.
+        """
+        streams = list(streams)
+        if len(streams) > self.config.n_ranks:
+            raise ValueError(
+                f"{len(streams)} streams for {self.config.n_ranks} ranks"
+            )
+        for r, s in enumerate(streams):
+            self._streams[r] = s
+            self._stream_done[r] = False
+            self.loop.set_source_active(r, True)
+
+    def inject_timed_events(
+        self, events: Iterable[tuple[float, int, int, int, int]]
+    ) -> int:
+        """Offer topology events at explicit virtual arrival times.
+
+        ``events`` are ``(time, kind, src, dst, weight)`` tuples.  This
+        models an *offered load* below saturation (the paper's streams
+        are saturation tests; §V-A notes any lower offered load is
+        handled in real time): each event enters the cluster at its
+        arrival instant instead of being pulled as fast as possible.
+        Returns the number of events injected.  Combine freely with
+        pulled streams.
+        """
+        n = 0
+        for at_time, kind, src, dst, weight in events:
+            if self.config.undirected and dst < src:
+                src, dst = dst, src  # canonical edge routing, as in pull
+            owner = self.partitioner.owner(src)
+            # The send happens inside an alarm at the arrival instant:
+            # sending eagerly would stamp the channel's FIFO clock with
+            # a *future* time and incorrectly delay every intervening
+            # runtime message on the same channel.
+            self.loop.schedule_alarm(
+                at_time,
+                lambda t=at_time, o=owner, k=kind, s=src, d=dst, w=weight: (
+                    self._fire_injected(t, o, k, s, d, w)
+                ),
+            )
+            n += 1
+        return n
+
+    def _fire_injected(
+        self, at_time: float, owner: int, kind: int, src: int, dst: int, weight: int
+    ) -> None:
+        ver = self.stream_version[owner]
+        if kind == EV_ADD:
+            msg = (VT_ADD, src, dst, weight, ver)
+        else:
+            msg = (VT_DEL, src, dst, ver)
+        self.term[owner].record_send(ver)
+        self.counters[owner].source_events += 1
+        self.loop.send_at(at_time, owner, owner, msg)
+
+    def vertex_removal_events(self, vertex: int) -> list[tuple[int, int, int, int]]:
+        """Delete events removing every current edge of ``vertex``.
+
+        The paper models vertex-level changes as "a set of edge changes"
+        (§III-A footnote); this helper materialises that set from the
+        owner's live adjacency, ready to feed into a stream or
+        :meth:`inject_timed_events`.
+        """
+        from repro.events.types import DELETE as EV_DELETE
+
+        rank = self.partitioner.owner(vertex)
+        return [
+            (EV_DELETE, vertex, nbr, 0)
+            for nbr, _w in self.stores[rank].neighbors(vertex)
+        ]
+
+    def init_program(
+        self,
+        prog: int | str,
+        vertex: int,
+        payload: Any = None,
+        at_time: float = 0.0,
+    ) -> None:
+        """Inject an ``init()`` visitor at ``vertex`` ("can be initiated
+        at any time", §IV) arriving no earlier than ``at_time``."""
+        p = self.prog_index(prog)
+        owner = self.partitioner.owner(vertex)
+        ver = self.stream_version[owner]
+        self.term[owner].record_send(ver)
+        self.loop.send_at(at_time, owner, owner, (VT_INIT, p, vertex, payload, ver))
+
+    def add_trigger(
+        self,
+        prog: int | str,
+        predicate: Callable[[int, Any], bool],
+        callback: Callable[[int, Any, float], None],
+        vertex: int | None = None,
+        once: bool = True,
+    ) -> Trigger:
+        """Register a "When" query on a program's vertex-local state."""
+        return self.triggers.add(self.prog_index(prog), predicate, callback, vertex, once)
+
+    def run(self, max_virtual_time: float | None = None, max_actions: int | None = None) -> float:
+        """Drive the cluster; returns the virtual makespan so far."""
+        if not self._started:
+            self.loop.start()
+            self._started = True
+        return self.loop.run(max_virtual_time=max_virtual_time, max_actions=max_actions)
+
+    # ------------------------------------------------------------------
+    # public API: observation
+    # ------------------------------------------------------------------
+    def value_of(self, prog: int | str, vertex: int) -> Any:
+        """Constant-time local-state read of one vertex (§III-E)."""
+        p = self.prog_index(prog)
+        rank = self.partitioner.owner(vertex)
+        return self.values[rank][p].get(vertex, 0)
+
+    def state(self, prog: int | str) -> dict[int, Any]:
+        """Merge every rank's live values for a program (omniscient
+        read; use :meth:`request_collection` for the in-protocol path)."""
+        p = self.prog_index(prog)
+        merged: dict[int, Any] = {}
+        for rank_vals in self.values:
+            merged.update(rank_vals[p])
+        return merged
+
+    @property
+    def num_edges(self) -> int:
+        """Directed edges stored across all ranks (undirected runs store
+        each input edge twice, once per endpoint)."""
+        return sum(s.num_edges for s in self.stores)
+
+    @property
+    def num_vertices(self) -> int:
+        return sum(s.num_vertices for s in self.stores)
+
+    def has_edge(self, src: int, dst: int) -> bool:
+        return self.stores[self.partitioner.owner(src)].has_edge(src, dst)
+
+    def edges(self) -> Iterable[tuple[int, int, int]]:
+        """All stored directed edges (for verification)."""
+        for store in self.stores:
+            yield from store.edges()
+
+    def total_counters(self) -> RankCounters:
+        total = RankCounters()
+        for c in self.counters:
+            total = total.merge(c)
+        return total
+
+    def source_event_rate(self) -> float:
+        """Topology events per virtual second over the whole run —
+        the paper's headline events/s metric."""
+        makespan = self.loop.max_time()
+        events = sum(c.source_events for c in self.counters)
+        return events / makespan if makespan > 0 else 0.0
+
+    # ------------------------------------------------------------------
+    # public API: versioned global state collection (§III-D)
+    # ------------------------------------------------------------------
+    def request_collection(
+        self,
+        prog: int | str = 0,
+        at_time: float = 0.0,
+        callback: Callable[[CollectionResult], None] | None = None,
+    ) -> None:
+        """Schedule a continuous (non-pausing) global state collection.
+
+        At virtual ``at_time`` the coordinator cuts a new version on
+        every stream, drains prior-version traffic (proved by the
+        four-counter detector), harvests each rank's ``S_prev`` and
+        appends a :class:`CollectionResult` to ``collection_results``.
+
+        Only one collection runs at a time (as in the paper's
+        prototype); a request arriving while another is active is
+        deferred and begins — with a fresh cut — when it concludes.
+        """
+        p = self.prog_index(prog)
+        self.loop.schedule_alarm(at_time, lambda: self._begin_collection(p, at_time, callback))
+
+    def _begin_collection(self, prog: int, requested_at: float, callback) -> None:
+        if self.active_collection is not None:
+            # One collection at a time (as in the paper's prototype):
+            # defer this request until the active one concludes.  Its
+            # requested_at becomes the time it actually begins.
+            self._pending_collections.append((prog, callback))
+            return
+        cut = self._next_version
+        self._next_version += 1
+        col = ActiveCollection(
+            collection_id=self._next_collection_id,
+            prog=prog,
+            cut_version=cut,
+            requested_at=requested_at,
+            detector=TerminationCoordinator(self.config.n_ranks),
+            callback=callback,
+        )
+        self._next_collection_id += 1
+        self.active_collection = col
+        coord = self.config.coordinator_rank
+        wave = col.detector.start_wave()
+        for r in range(self.config.n_ranks):
+            self.loop.send_at(
+                requested_at,
+                coord,
+                r,
+                (VT_CTRL, CTRL_CUT, col.collection_id, cut),
+                priority=True,
+            )
+            self.loop.send_at(
+                requested_at,
+                coord,
+                r,
+                (VT_CTRL, CTRL_PROBE, col.collection_id, wave, cut),
+                priority=True,
+            )
+
+    # ------------------------------------------------------------------
+    # RankHandler: source ingestion
+    # ------------------------------------------------------------------
+    def pull_source(self, loop: DiscreteEventLoop, rank: int) -> bool:
+        stream = self._streams[rank]
+        if stream is None:
+            self._stream_done[rank] = True
+            return False
+        ev = stream.pull()
+        if ev is None:
+            self._stream_done[rank] = True
+            return False
+        kind, src, dst, weight = ev
+        self.counters[rank].source_events += 1
+        loop.consume(rank, self.cost.stream_pull_cpu)
+        ver = self.stream_version[rank]
+        if self.config.undirected and dst < src:
+            # Canonicalise the endpoint order so *all* events touching
+            # the same undirected edge serialise through one owner's
+            # FIFO queue.  §III-C's routing (owner of the first vertex)
+            # is race-free for a single creation, but concurrent
+            # [a,b] / [b,a] / delete events in different streams would
+            # otherwise initiate at two different owners and can leave
+            # the edge half-present.
+            src, dst = dst, src
+        owner = self.partitioner.owner(src)
+        if kind == EV_ADD:
+            msg = (VT_ADD, src, dst, weight, ver)
+        else:
+            msg = (VT_DEL, src, dst, ver)
+        self._send_visitor(rank, owner, msg, ver)
+        return True
+
+    # ------------------------------------------------------------------
+    # RankHandler: visitor dispatch (Alg. 3's VISIT switch)
+    # ------------------------------------------------------------------
+    def on_message(self, loop: DiscreteEventLoop, rank: int, msg: tuple) -> None:
+        vt = msg[0]
+        if vt == VT_UPDATE:
+            _, p, target, vis_id, vis_val, weight, ver = msg
+            self.term[rank].record_receive(ver)
+            self._proc_version[rank] = ver
+            cache = self._nbr_cache[rank][p]
+            if cache is not None:
+                cache.setdefault(target, {})[vis_id] = vis_val
+            self._run_callback(
+                rank, p, target, "on_update", vis_id, vis_val, weight
+            )
+        elif vt == VT_ADD:
+            _, src, dst, weight, ver = msg
+            self.term[rank].record_receive(ver)
+            self._proc_version[rank] = ver
+            self._edge_was_new[rank] = self._apply_insert(rank, src, dst, weight)
+            for p in range(len(self.programs)):
+                self._run_callback(rank, p, src, "on_add", dst, 0, weight)
+            if self.config.undirected:
+                vals = tuple(
+                    self._value_for_send(rank, p, src, ver)
+                    for p in range(len(self.programs))
+                )
+                dst_owner = self.partitioner.owner(dst)
+                self._send_visitor(
+                    rank, dst_owner, (VT_RADD, dst, src, vals, weight, ver), ver
+                )
+            else:
+                # Directed mode: no reverse edge, but the source's state
+                # must still flow along the new edge (the "few more
+                # trivial cases" of directed BFS, §II-B) — emit one
+                # UPDATE per program carrying the source's value.
+                dst_owner = self.partitioner.owner(dst)
+                for p in range(len(self.programs)):
+                    val = self._value_for_send(rank, p, src, ver)
+                    self._send_visitor(
+                        rank,
+                        dst_owner,
+                        (VT_UPDATE, p, dst, src, val, weight, ver),
+                        ver,
+                    )
+        elif vt == VT_RADD:
+            _, dst, src, vals, weight, ver = msg
+            self.term[rank].record_receive(ver)
+            self._proc_version[rank] = ver
+            self._edge_was_new[rank] = self._apply_insert(rank, dst, src, weight)
+            for p in range(len(self.programs)):
+                cache = self._nbr_cache[rank][p]
+                if cache is not None:
+                    cache.setdefault(dst, {})[src] = vals[p]
+                self._run_callback(rank, p, dst, "on_reverse_add", src, vals[p], weight)
+        elif vt == VT_INIT:
+            _, p, target, payload, ver = msg
+            self.term[rank].record_receive(ver)
+            self._proc_version[rank] = ver
+            self._run_callback(rank, p, target, "on_init", payload)
+        elif vt == VT_DEL:
+            _, src, dst, ver = msg
+            self.term[rank].record_receive(ver)
+            self._proc_version[rank] = ver
+            weight = self.stores[rank].edge_weight(src, dst)
+            self._apply_delete(rank, src, dst)
+            for p in range(len(self.programs)):
+                cache = self._nbr_cache[rank][p]
+                if cache is not None:
+                    cache.get(src, {}).pop(dst, None)
+                self._run_callback(rank, p, src, "on_delete", dst, weight or 0)
+            if self.config.undirected:
+                vals = tuple(
+                    self._value_for_send(rank, p, src, ver)
+                    for p in range(len(self.programs))
+                )
+                dst_owner = self.partitioner.owner(dst)
+                self._send_visitor(rank, dst_owner, (VT_RDEL, dst, src, vals, ver), ver)
+        elif vt == VT_RDEL:
+            _, dst, src, vals, ver = msg
+            self.term[rank].record_receive(ver)
+            self._proc_version[rank] = ver
+            weight = self.stores[rank].edge_weight(dst, src)
+            self._apply_delete(rank, dst, src)
+            for p in range(len(self.programs)):
+                cache = self._nbr_cache[rank][p]
+                if cache is not None:
+                    cache.get(dst, {}).pop(src, None)
+                self._run_callback(
+                    rank, p, dst, "on_reverse_delete", src, vals[p], weight or 0
+                )
+        elif vt == VT_CTRL:
+            self._on_control(rank, msg)
+        else:  # pragma: no cover - corrupted message
+            raise ValueError(f"unknown visitor type in {msg!r}")
+
+    # ------------------------------------------------------------------
+    # topology application
+    # ------------------------------------------------------------------
+    def _apply_insert(self, rank: int, src: int, dst: int, weight: int) -> bool:
+        store = self.stores[rank]
+        new = store.insert_edge(src, dst, weight)
+        if new:
+            self.counters[rank].edge_inserts += 1
+        self._charge(rank, self.cost.edge_insert_cpu)
+        self._charge_spill(rank, store)
+        return new
+
+    def _apply_delete(self, rank: int, src: int, dst: int) -> None:
+        store = self.stores[rank]
+        if store.delete_edge(src, dst):
+            self.counters[rank].edge_deletes += 1
+        self._charge(rank, self.cost.edge_insert_cpu)
+        self._charge_spill(rank, store)
+
+    def _charge_spill(self, rank: int, store: DegAwareRHH) -> None:
+        """Out-of-core penalty (§III-B): a topology access misses DRAM
+        with probability equal to the rank's NVRAM-spill fraction."""
+        if self.cost.rank_memory_bytes == float("inf"):
+            return
+        frac = self.cost.spill_fraction(store.approx_bytes())
+        if frac > 0.0:
+            self._charge(rank, frac * self.cost.nvram_access_cpu)
+
+    # ------------------------------------------------------------------
+    # program callback plumbing (incl. S_prev/S_new views)
+    # ------------------------------------------------------------------
+    def _collection_for(self, prog: int) -> ActiveCollection | None:
+        col = self.active_collection
+        return col if col is not None and col.prog == prog else None
+
+    def _run_callback(self, rank: int, prog: int, vertex: int, cb: str, *args) -> None:
+        ctx = self._ctx[rank][prog]
+        ctx.vertex = vertex
+        ctx.time = self.loop.now(rank)
+        self.counters[rank].visits += 1
+        program = self.programs[prog]
+        fn = getattr(program, cb)
+        # Effect-dependent charging: a callback that neither writes nor
+        # emits is a redundant event that a real visitor queue squashes
+        # cheaply (§II-D: monotone updates "can be combined or
+        # squashed") — charge the discard cost instead of a full visit.
+        self._cb_effect[rank] = False
+        col = self._collection_for(prog)
+        try:
+            if (
+                col is not None
+                and self._proc_version[rank] < col.cut_version
+                and vertex in self._prev_vals[rank]
+            ):
+                # Prev-version event at a split vertex: apply to S_prev
+                # (with event emission), then to S_new per the program's
+                # mode (merge mode folds inside _write_value).
+                ctx._view_prev = True
+                try:
+                    fn(ctx, *args)
+                finally:
+                    ctx._view_prev = False
+                if program.snapshot_mode == "replay":
+                    self._suppress_sends[rank] = True
+                    try:
+                        fn(ctx, *args)
+                    finally:
+                        self._suppress_sends[rank] = False
+            else:
+                fn(ctx, *args)
+        finally:
+            self._charge(
+                rank,
+                self.cost.visit_cpu
+                if self._cb_effect[rank]
+                else self.cost.visit_discard_cpu,
+            )
+
+    def _read_value(self, rank: int, prog: int, vertex: int, view_prev: bool) -> Any:
+        if view_prev:
+            prev = self._prev_vals[rank]
+            if vertex in prev:
+                return prev[vertex]
+        return self.values[rank][prog].get(vertex, 0)
+
+    def _write_value(
+        self, rank: int, prog: int, vertex: int, value: Any, view_prev: bool
+    ) -> None:
+        self._cb_effect[rank] = True
+        vals = self.values[rank][prog]
+        if view_prev:
+            self._prev_vals[rank][vertex] = value
+            program = self.programs[prog]
+            if program.snapshot_mode == "merge":
+                old = vals.get(vertex, 0)
+                merged = program.merge(old, value)
+                if merged != old:
+                    vals[vertex] = merged
+                    if self.triggers.has_triggers(prog):
+                        self.triggers.on_change(prog, vertex, merged, self.loop.now(rank))
+            return
+        col = self._collection_for(prog)
+        if col is not None and self._proc_version[rank] >= col.cut_version:
+            prev = self._prev_vals[rank]
+            if vertex not in prev:
+                # First new-version touch: split, preserving the
+                # prev-version view (§III-D).
+                prev[vertex] = vals.get(vertex, 0)
+        vals[vertex] = value
+        if self.triggers.has_triggers(prog):
+            self.triggers.on_change(prog, vertex, value, self.loop.now(rank))
+
+    def _value_for_send(self, rank: int, prog: int, vertex: int, ver: int) -> Any:
+        """The value a REVERSE_ADD/DELETE carries for ``vertex`` — the
+        S_prev view when the carrying event is prev-version and the
+        vertex is split."""
+        col = self._collection_for(prog)
+        view_prev = (
+            col is not None
+            and ver < col.cut_version
+            and vertex in self._prev_vals[rank]
+        )
+        return self._read_value(rank, prog, vertex, view_prev)
+
+    def _nbr_cache_for(self, rank: int, prog: int, vertex: int) -> dict[int, Any]:
+        cache = self._nbr_cache[rank][prog]
+        if cache is None:
+            raise RuntimeError(
+                f"program {self.programs[prog].name!r} did not declare "
+                "needs_nbr_cache=True"
+            )
+        return cache.setdefault(vertex, {})
+
+    # ------------------------------------------------------------------
+    # event emission
+    # ------------------------------------------------------------------
+    def _emit_update_all(self, rank: int, prog: int, vertex: int, value: Any) -> None:
+        if self._suppress_sends[rank]:
+            return
+        self._cb_effect[rank] = True
+        ver = self._proc_version[rank]
+        owner = self.partitioner.owner
+        for nbr, weight in self.stores[rank].neighbors(vertex):
+            self._send_visitor(
+                rank, owner(nbr), (VT_UPDATE, prog, nbr, vertex, value, weight, ver), ver
+            )
+
+    def _emit_update_one(
+        self, rank: int, prog: int, vertex: int, nbr: int, value: Any, weight: int | None
+    ) -> None:
+        if self._suppress_sends[rank]:
+            return
+        self._cb_effect[rank] = True
+        if weight is None:
+            weight = self.stores[rank].edge_weight(vertex, nbr)
+            self._charge(rank, self.cost.storage_probe_cpu)
+            if weight is None:
+                weight = 1  # edge raced away (delete); carry the default
+        ver = self._proc_version[rank]
+        self._send_visitor(
+            rank,
+            self.partitioner.owner(nbr),
+            (VT_UPDATE, prog, nbr, vertex, value, weight, ver),
+            ver,
+        )
+
+    def _send_visitor(self, src_rank: int, dst_rank: int, msg: tuple, version: int) -> None:
+        self.term[src_rank].record_send(version)
+        if self.cost.node_of(src_rank) == self.cost.node_of(dst_rank):
+            self.counters[src_rank].messages_sent_local += 1
+        else:
+            self.counters[src_rank].messages_sent_remote += 1
+        self.loop.send(src_rank, dst_rank, msg)
+
+    def _charge(self, rank: int, cpu: float) -> None:
+        self.loop.consume(rank, cpu)
+        self.counters[rank].busy_time += cpu
+
+    # ------------------------------------------------------------------
+    # control plane: probes, reports, cut, harvest
+    # ------------------------------------------------------------------
+    def _on_control(self, rank: int, msg: tuple) -> None:
+        self._charge(rank, self.cost.control_cpu)
+        self.counters[rank].control_messages += 1
+        subtype = msg[1]
+        coord = self.config.coordinator_rank
+        col = self.active_collection
+        if subtype == CTRL_CUT:
+            _, _, col_id, cut = msg
+            self.stream_version[rank] = max(self.stream_version[rank], cut)
+            # Record how many source events this rank had ingested at the
+            # cut — this *defines* the discretized prefix the snapshot
+            # represents ("identifying an event for each stream that is
+            # the last event to be processed in this collection", §III-D)
+            # and lets tests check the snapshot against a static run on
+            # exactly that prefix.
+            self.cut_positions.setdefault(col_id, {})[rank] = self.counters[
+                rank
+            ].source_events
+        elif subtype == CTRL_PROBE:
+            _, _, col_id, wave, cut = msg
+            sent = self.term[rank].sent_below(cut)
+            recv = self.term[rank].received_below(cut)
+            idle = self.stream_version[rank] >= cut or self._stream_done[rank]
+            self.loop.send(
+                rank,
+                coord,
+                (VT_CTRL, CTRL_REPORT, col_id, wave, rank, sent, recv, idle),
+                priority=True,
+            )
+        elif subtype == CTRL_REPORT:
+            _, _, col_id, wave, src_rank, sent, recv, idle = msg
+            if col is None or col.collection_id != col_id:
+                return  # stale report from a finished collection
+            col.detector.report(wave, src_rank, sent, recv, idle)
+            if not col.detector.wave_complete():
+                return
+            if col.detector.conclude():
+                for r in range(self.config.n_ranks):
+                    self.loop.send(
+                        rank, r, (VT_CTRL, CTRL_HARVEST, col_id, col.prog), priority=True
+                    )
+            else:
+                next_at = self.loop.now(rank) + self.config.probe_backoff
+                wave_id = col.detector.start_wave()
+                for r in range(self.config.n_ranks):
+                    self.loop.send_at(
+                        next_at,
+                        rank,
+                        r,
+                        (VT_CTRL, CTRL_PROBE, col_id, wave_id, col.cut_version),
+                        priority=True,
+                    )
+        elif subtype == CTRL_HARVEST:
+            _, _, col_id, prog = msg
+            prev = self._prev_vals[rank]
+            vals = self.values[rank][prog]
+            part = {vid: prev.get(vid, val) for vid, val in vals.items()}
+            self._charge(rank, self.cost.gather_per_vertex_cpu * len(part))
+            self._prev_vals[rank] = {}
+            self.loop.send(
+            rank, coord, (VT_CTRL, CTRL_PART, col_id, rank, part), priority=True
+        )
+        elif subtype == CTRL_PART:
+            _, _, col_id, src_rank, part = msg
+            if col is None or col.collection_id != col_id:
+                return
+            col.parts[src_rank] = part
+            self._charge(rank, self.cost.gather_per_vertex_cpu * len(part))
+            if col.all_parts_in(self.config.n_ranks):
+                result = CollectionResult(
+                    collection_id=col.collection_id,
+                    prog=col.prog,
+                    cut_version=col.cut_version,
+                    requested_at=col.requested_at,
+                    completed_at=self.loop.now(rank),
+                    state=col.merged_state(),
+                    probe_waves=col.detector.waves_run,
+                    vertices_collected=len(col.merged_state()),
+                )
+                self.collection_results.append(result)
+                self.active_collection = None
+                if col.callback is not None:
+                    col.callback(result)
+                if self._pending_collections:
+                    prog, cb = self._pending_collections.pop(0)
+                    self._begin_collection(prog, self.loop.now(rank), cb)
+        else:  # pragma: no cover - corrupted control message
+            raise ValueError(f"unknown control subtype in {msg!r}")

@@ -1,0 +1,112 @@
+"""Local-state "When" queries (§II, §III-E).
+
+A *trigger* attaches a predicate to a program's vertex-local state and a
+user callback fired the moment the predicate first becomes true — the
+paper's "When is vertex A connected to vertex B?" answered "in real-time
+based on when a condition has been met".
+
+For REMO algorithms the paper guarantees (§III-E): no false positives
+(monotone state never regresses below the trigger condition in the
+add-only regime) and exactly-once firing.  The manager enforces
+once-semantics explicitly so the guarantee also holds for non-monotone
+user programs.
+
+Triggers observe *local* state: they are evaluated by the owning rank at
+the instant a callback writes the value, with the event's virtual time —
+no global coordination, which is the whole point (constant-time
+observation, §III-E).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+Predicate = Callable[[int, Any], bool]  # (vertex, new_value) -> bool
+TriggerCallback = Callable[[int, Any, float], None]  # (vertex, value, vtime)
+
+
+@dataclass
+class Trigger:
+    """One registered "When" query."""
+
+    trigger_id: int
+    prog: int
+    predicate: Predicate
+    callback: TriggerCallback
+    vertex: int | None = None  # None = watch every vertex
+    once: bool = True
+    fired_vertices: set[int] = field(default_factory=set)
+
+    def consider(self, vertex: int, value: Any, time: float) -> bool:
+        """Evaluate against a state change; fires the callback at most
+        once per vertex when ``once``.  Returns True iff fired."""
+        if self.vertex is not None and vertex != self.vertex:
+            return False
+        if self.once and vertex in self.fired_vertices:
+            return False
+        if not self.predicate(vertex, value):
+            return False
+        if self.once:
+            self.fired_vertices.add(vertex)
+        self.callback(vertex, value, time)
+        return True
+
+
+class TriggerManager:
+    """Holds triggers per program; consulted on every value write.
+
+    Vertex-scoped triggers are indexed by vertex so the per-write cost
+    is a dict lookup when no global triggers exist (keeping the §III-E
+    'constant time' observation property).
+    """
+
+    def __init__(self) -> None:
+        self._next_id = 0
+        # prog -> vertex -> [Trigger];  prog -> [Trigger] (global)
+        self._by_vertex: dict[int, dict[int, list[Trigger]]] = {}
+        self._global: dict[int, list[Trigger]] = {}
+        self.fired_count = 0
+
+    def add(
+        self,
+        prog: int,
+        predicate: Predicate,
+        callback: TriggerCallback,
+        vertex: int | None = None,
+        once: bool = True,
+    ) -> Trigger:
+        """Register a trigger; returns the handle (usable with remove)."""
+        trig = Trigger(self._next_id, prog, predicate, callback, vertex, once)
+        self._next_id += 1
+        if vertex is None:
+            self._global.setdefault(prog, []).append(trig)
+        else:
+            self._by_vertex.setdefault(prog, {}).setdefault(vertex, []).append(trig)
+        return trig
+
+    def remove(self, trig: Trigger) -> bool:
+        """Deregister; returns True iff the trigger was present."""
+        if trig.vertex is None:
+            lst = self._global.get(trig.prog, [])
+        else:
+            lst = self._by_vertex.get(trig.prog, {}).get(trig.vertex, [])
+        try:
+            lst.remove(trig)
+            return True
+        except ValueError:
+            return False
+
+    def has_triggers(self, prog: int) -> bool:
+        return bool(self._global.get(prog)) or bool(self._by_vertex.get(prog))
+
+    def on_change(self, prog: int, vertex: int, value: Any, time: float) -> None:
+        """Engine hook: a program value was written."""
+        per_vertex = self._by_vertex.get(prog)
+        if per_vertex is not None:
+            for trig in per_vertex.get(vertex, ()):
+                if trig.consider(vertex, value, time):
+                    self.fired_count += 1
+        for trig in self._global.get(prog, ()):
+            if trig.consider(vertex, value, time):
+                self.fired_count += 1

@@ -1,0 +1,26 @@
+"""Static graph algorithms on CSR — the paper's baselines.
+
+Each returns both the answer and an :class:`OpCounts` of the work
+performed (vertex visits, edge scans), which the benchmark harness
+multiplies by the cost model's static-side constants to obtain the
+virtual run time of the "static algorithm from scratch" bars in
+Figs. 3 and 4.  The answers double as ground truth for verifying the
+dynamic algorithms' convergence (value conventions match §IV: source
+level/cost 1, CC labels = max vertex hash in the component).
+"""
+
+from repro.staticalgs.algorithms import (
+    OpCounts,
+    static_bfs,
+    static_cc,
+    static_sssp,
+    static_st_connectivity,
+)
+
+__all__ = [
+    "OpCounts",
+    "static_bfs",
+    "static_cc",
+    "static_sssp",
+    "static_st_connectivity",
+]

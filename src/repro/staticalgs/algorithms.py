@@ -1,0 +1,167 @@
+"""Static BFS / SSSP / CC / S-T on a CSR graph.
+
+Conventions are aligned with the dynamic programs so results compare
+directly (see :mod:`repro.analytics.verify`):
+
+* BFS/SSSP: source value 1; a vertex's value is 1 + (hops | weighted
+  distance); unreachable vertices are absent from the result.
+* CC: label = max :func:`repro.algorithms.cc.component_label` hash in
+  the vertex's component.
+* S-T: bitmask over the source list, bit *i* set iff reachable from
+  ``sources[i]``.
+
+Results are keyed by **original vertex IDs** (the CSR relabeling is
+internal).  ``OpCounts`` captures the traversal work for the virtual
+cost model.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms.cc import component_label
+from repro.storage.csr import CSRGraph
+
+
+@dataclass(frozen=True)
+class OpCounts:
+    """Work performed by one static algorithm execution."""
+
+    vertex_visits: int
+    edge_scans: int
+
+
+def static_bfs(graph: CSRGraph, source: int) -> tuple[dict[int, int], OpCounts]:
+    """Level-synchronous BFS; returns ({vertex: level}, ops).
+
+    The source has level 1, matching Alg. 4's ``init``.
+    """
+    if not graph.has_vertex(source):
+        return {source: 1}, OpCounts(1, 0)
+    n = graph.num_vertices
+    levels = np.zeros(n, dtype=np.int64)  # 0 = unreached
+    s = graph.dense_index(source)
+    levels[s] = 1
+    frontier = deque([s])
+    visits = 0
+    scans = 0
+    offsets, targets = graph.offsets, graph.targets
+    while frontier:
+        v = frontier.popleft()
+        visits += 1
+        lvl = levels[v] + 1
+        for t in targets[offsets[v] : offsets[v + 1]]:
+            scans += 1
+            if levels[t] == 0:
+                levels[t] = lvl
+                frontier.append(t)
+    reached = np.nonzero(levels)[0]
+    result = {int(graph.vertex_ids[v]): int(levels[v]) for v in reached}
+    return result, OpCounts(visits, scans)
+
+
+def static_sssp(graph: CSRGraph, source: int) -> tuple[dict[int, int], OpCounts]:
+    """Dijkstra; returns ({vertex: cost}, ops) with source cost 1."""
+    if not graph.has_vertex(source):
+        return {source: 1}, OpCounts(1, 0)
+    n = graph.num_vertices
+    INF = 1 << 62
+    dist = np.full(n, INF, dtype=np.int64)
+    s = graph.dense_index(source)
+    dist[s] = 1
+    heap = [(1, s)]
+    visits = 0
+    scans = 0
+    offsets, targets, weights = graph.offsets, graph.targets, graph.weights
+    while heap:
+        d, v = heapq.heappop(heap)
+        if d > dist[v]:
+            continue
+        visits += 1
+        for idx in range(offsets[v], offsets[v + 1]):
+            scans += 1
+            t = targets[idx]
+            nd = d + weights[idx]
+            if nd < dist[t]:
+                dist[t] = nd
+                heapq.heappush(heap, (int(nd), int(t)))
+    reached = np.nonzero(dist < INF)[0]
+    result = {int(graph.vertex_ids[v]): int(dist[v]) for v in reached}
+    return result, OpCounts(visits, scans)
+
+
+def static_cc(graph: CSRGraph) -> tuple[dict[int, int], OpCounts]:
+    """Connected components over the *undirected closure* of the CSR.
+
+    Returns ({vertex: label}, ops) where the label is the maximum
+    salted vertex hash in the component (the dynamic CC's deterministic
+    answer).  Uses union-find with path halving; ops count the find
+    steps as edge scans.
+    """
+    n = graph.num_vertices
+    parent = np.arange(n, dtype=np.int64)
+    scans = 0
+
+    def find(x: int) -> int:
+        nonlocal scans
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = int(parent[x])
+            scans += 1
+        return x
+
+    offsets, targets = graph.offsets, graph.targets
+    for v in range(n):
+        for idx in range(offsets[v], offsets[v + 1]):
+            a, b = find(v), find(int(targets[idx]))
+            if a != b:
+                parent[a] = b
+    # component -> max hash label
+    labels: dict[int, int] = {}
+    for v in range(n):
+        root = find(v)
+        h = component_label(int(graph.vertex_ids[v]))
+        if labels.get(root, -1) < h:
+            labels[root] = h
+    result = {
+        int(graph.vertex_ids[v]): labels[find(v)] for v in range(n)
+    }
+    return result, OpCounts(n, scans + graph.num_edges)
+
+
+def static_st_connectivity(
+    graph: CSRGraph, sources: list[int]
+) -> tuple[dict[int, int], OpCounts]:
+    """Multi-source reachability; returns ({vertex: bitmask}, ops).
+
+    Bit *i* of a vertex's mask is set iff it is reachable from
+    ``sources[i]`` (a vertex always reaches itself).
+    """
+    masks: dict[int, int] = {}
+    visits = 0
+    scans = 0
+    offsets, targets = graph.offsets, graph.targets
+    for bit, src in enumerate(sources):
+        masks[src] = masks.get(src, 0) | (1 << bit)
+        if not graph.has_vertex(src):
+            continue
+        seen = np.zeros(graph.num_vertices, dtype=bool)
+        s = graph.dense_index(src)
+        seen[s] = True
+        frontier = deque([s])
+        while frontier:
+            v = frontier.popleft()
+            visits += 1
+            for t in targets[offsets[v] : offsets[v + 1]]:
+                scans += 1
+                if not seen[t]:
+                    seen[t] = True
+                    frontier.append(t)
+        for v in np.nonzero(seen)[0]:
+            vid = int(graph.vertex_ids[v])
+            masks[vid] = masks.get(vid, 0) | (1 << bit)
+    return masks, OpCounts(visits, scans)

@@ -1,0 +1,108 @@
+"""64-bit integer mixing and hashing primitives.
+
+The paper's middleware relies on hashing in three distinct places:
+
+* **Partitioning** (§III-C): vertex ownership is decided by
+  ``hash(V) mod P`` so that any rank can locate any vertex's owner in
+  constant time without coordination.
+* **Storage** (§III-B): DegAwareRHH uses open addressing with Robin Hood
+  hashing, which needs a well-mixed 64-bit hash to keep probe distances
+  short.
+* **Connected Components** (Alg. 6): each vertex seeds its component label
+  with ``hash(vertex_id)`` so that insertion order does not bias which
+  component label "dominates".
+
+Python's builtin ``hash`` on small ints is the identity function, which is
+catastrophic for all three uses on the near-contiguous vertex IDs produced
+by graph generators.  We therefore provide explicit finalizers with strong
+avalanche behaviour.  All functions operate in the unsigned 64-bit domain
+and are deterministic across processes and Python versions (unlike
+``hash(str)`` under PYTHONHASHSEED randomisation).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_MASK64 = (1 << 64) - 1
+
+# SplitMix64 constants (Steele, Lea & Flood; also used by xxHash/wyhash
+# derivatives). These give full avalanche: each input bit flips each output
+# bit with probability ~0.5.
+_SM64_GAMMA = 0x9E3779B97F4A7C15
+_SM64_MUL1 = 0xBF58476D1CE4E5B9
+_SM64_MUL2 = 0x94D049BB133111EB
+
+# 2^64 / phi, used by Fibonacci hashing to map a hash to a power-of-two
+# table index using the *high* bits (which are the best mixed).
+_FIB_MUL = 0x9E3779B97F4A7C15
+
+
+def splitmix64(x: int) -> int:
+    """Advance-and-output step of the SplitMix64 generator.
+
+    Unlike :func:`mix64` this adds the odd gamma constant first, so
+    ``splitmix64(0) != 0``; it is safe to feed sequential integers.
+    """
+    x = (x + _SM64_GAMMA) & _MASK64
+    return mix64(x)
+
+
+def mix64(x: int) -> int:
+    """The SplitMix64 finalizer: a bijective avalanche mix of a 64-bit int.
+
+    Note ``mix64(0) == 0``; when zero inputs are possible and a nonzero
+    output matters, use :func:`splitmix64` instead.
+    """
+    x &= _MASK64
+    x ^= x >> 30
+    x = (x * _SM64_MUL1) & _MASK64
+    x ^= x >> 27
+    x = (x * _SM64_MUL2) & _MASK64
+    x ^= x >> 31
+    return x
+
+
+def stable_vertex_hash(vertex_id: int, salt: int = 0) -> int:
+    """Deterministic 64-bit hash of a vertex ID, optionally salted.
+
+    Used for CC label seeding (Alg. 6) and for consistent-hash
+    partitioning.  The salt lets different subsystems draw independent
+    hash functions from the same ID space (e.g. so the partitioner and the
+    CC labels are not correlated).
+    """
+    return splitmix64((vertex_id & _MASK64) ^ (salt * _SM64_GAMMA & _MASK64))
+
+
+def fibonacci_hash(hashed: int, table_bits: int) -> int:
+    """Map an already-mixed 64-bit hash to a ``2**table_bits`` table index.
+
+    Multiplies by 2^64/phi and keeps the top ``table_bits`` bits, which
+    spreads clustered hashes better than masking the low bits.
+    """
+    if table_bits <= 0:
+        return 0
+    return ((hashed * _FIB_MUL) & _MASK64) >> (64 - table_bits)
+
+
+def mix64_array(values: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`mix64` over a uint64 array (used by generators).
+
+    Matches the scalar function exactly, element-wise.
+    """
+    x = values.astype(np.uint64, copy=True)
+    with np.errstate(over="ignore"):
+        x ^= x >> np.uint64(30)
+        x *= np.uint64(_SM64_MUL1)
+        x ^= x >> np.uint64(27)
+        x *= np.uint64(_SM64_MUL2)
+        x ^= x >> np.uint64(31)
+    return x
+
+
+def stable_vertex_hash_array(vertex_ids: np.ndarray, salt: int = 0) -> np.ndarray:
+    """Vectorised :func:`stable_vertex_hash` over an array of vertex IDs."""
+    salted = vertex_ids.astype(np.uint64) ^ np.uint64((salt * _SM64_GAMMA) & _MASK64)
+    with np.errstate(over="ignore"):
+        salted = salted + np.uint64(_SM64_GAMMA)
+    return mix64_array(salted)

@@ -1,0 +1,87 @@
+"""Wall-clock timing helpers and human-readable formatting.
+
+The evaluation distinguishes two clocks:
+
+* **virtual time** — the per-rank clocks advanced by the discrete-event
+  simulator's cost model (see :mod:`repro.comm.costmodel`); this is what
+  the scaling figures report, standing in for the paper's cluster time.
+* **wall time** — how long the simulator itself took, reported alongside
+  so that readers can judge simulation overhead.
+
+This module only deals with the wall clock; virtual time lives with the
+simulator kernel.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class WallTimer:
+    """A restartable stopwatch usable as a context manager.
+
+    >>> with WallTimer() as t:
+    ...     pass
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self._elapsed = 0.0
+
+    def start(self) -> "WallTimer":
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("WallTimer.stop() called before start()")
+        self._elapsed += time.perf_counter() - self._start
+        self._start = None
+        return self._elapsed
+
+    @property
+    def running(self) -> bool:
+        return self._start is not None
+
+    @property
+    def elapsed(self) -> float:
+        """Total accumulated seconds (includes the live segment if running)."""
+        live = time.perf_counter() - self._start if self._start is not None else 0.0
+        return self._elapsed + live
+
+    def reset(self) -> None:
+        self._start = None
+        self._elapsed = 0.0
+
+    def __enter__(self) -> "WallTimer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def format_seconds(seconds: float) -> str:
+    """Render a duration compactly: ``1.23us``, ``45.6ms``, ``7.89s``, ``2m03s``."""
+    if seconds < 0:
+        return "-" + format_seconds(-seconds)
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.3g}us"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.3g}ms"
+    if seconds < 120.0:
+        return f"{seconds:.3g}s"
+    minutes, secs = divmod(seconds, 60.0)
+    return f"{int(minutes)}m{secs:04.1f}s"
+
+
+def format_rate(count: float, seconds: float, unit: str = "ev/s") -> str:
+    """Render a rate with SI-style scaling: ``1.30 Gev/s``, ``421 Kev/s``."""
+    if seconds <= 0:
+        return f"inf {unit}"
+    rate = count / seconds
+    for scale, prefix in ((1e9, "G"), (1e6, "M"), (1e3, "K")):
+        if rate >= scale:
+            return f"{rate / scale:.3g} {prefix}{unit}"
+    return f"{rate:.3g} {unit}"

@@ -1,0 +1,165 @@
+"""Unit tests for incremental CC (Alg. 6), Multi S-T (Alg. 7), degree."""
+
+import numpy as np
+
+from repro import (
+    DegreeTracker,
+    DynamicEngine,
+    EngineConfig,
+    IncrementalCC,
+    ListEventStream,
+    MultiSTConnectivity,
+    split_streams,
+)
+from repro.algorithms.cc import component_label
+from repro.analytics import verify_cc, verify_st
+from repro.events.types import ADD, DELETE
+from repro.generators import erdos_renyi_edges, rmat_edges
+
+
+def run_events(progs, events, n_ranks=3):
+    e = DynamicEngine(progs, EngineConfig(n_ranks=n_ranks))
+    e.attach_streams([ListEventStream(events)])
+    e.run()
+    return e
+
+
+class TestCC:
+    def test_single_component_agrees_on_max_hash(self):
+        e = run_events([IncrementalCC()], [(ADD, 0, 1, 1), (ADD, 1, 2, 1)])
+        expect = max(component_label(v) for v in (0, 1, 2))
+        for v in (0, 1, 2):
+            assert e.value_of("cc", v) == expect
+
+    def test_two_components_have_distinct_labels(self):
+        e = run_events([IncrementalCC()], [(ADD, 0, 1, 1), (ADD, 5, 6, 1)])
+        assert e.value_of("cc", 0) == e.value_of("cc", 1)
+        assert e.value_of("cc", 5) == e.value_of("cc", 6)
+        assert e.value_of("cc", 0) != e.value_of("cc", 5)
+
+    def test_component_merge_floods_dominant_label(self):
+        # §II-B case (ii): an edge uniting two components.
+        events = [(ADD, 0, 1, 1), (ADD, 5, 6, 1), (ADD, 1, 5, 1)]
+        e = run_events([IncrementalCC()], events)
+        expect = max(component_label(v) for v in (0, 1, 5, 6))
+        for v in (0, 1, 5, 6):
+            assert e.value_of("cc", v) == expect
+
+    def test_intra_component_edge_is_trivial(self):
+        # §II-B case (i): edge within a component changes no labels.
+        events = [(ADD, 0, 1, 1), (ADD, 1, 2, 1)]
+        e1 = run_events([IncrementalCC()], events)
+        e2 = run_events([IncrementalCC()], events + [(ADD, 0, 2, 1)])
+        for v in (0, 1, 2):
+            assert e1.value_of("cc", v) == e2.value_of("cc", v)
+
+    def test_no_init_needed(self):
+        e = run_events([IncrementalCC()], [(ADD, 7, 8, 1)])
+        assert e.value_of("cc", 7) != 0
+
+    def test_random_graph_verifies(self):
+        rng = np.random.default_rng(3)
+        src, dst = rmat_edges(8, edge_factor=4, rng=rng)
+        e = DynamicEngine([IncrementalCC()], EngineConfig(n_ranks=5))
+        e.attach_streams(split_streams(src, dst, 5, rng=rng))
+        e.run()
+        assert verify_cc(e, "cc") == []
+
+    def test_many_small_components_verify(self):
+        events = [(ADD, 10 * i, 10 * i + 1, 1) for i in range(30)]
+        e = run_events([IncrementalCC()], events, n_ranks=4)
+        assert verify_cc(e, "cc") == []
+        labels = {e.value_of("cc", 10 * i) for i in range(30)}
+        assert len(labels) == 30
+
+
+class TestMultiST:
+    def test_single_source_flow(self):
+        st = MultiSTConnectivity()
+        e = DynamicEngine([st], EngineConfig(n_ranks=2))
+        e.init_program("st", 0, payload=st.register_source(0))
+        e.attach_streams([ListEventStream([(ADD, 0, 1, 1), (ADD, 1, 2, 1)])])
+        e.run()
+        assert st.is_connected(e.value_of("st", 2), 0)
+        assert st.is_connected(e.value_of("st", 0), 0)  # source reaches itself
+
+    def test_disconnected_vertex_not_connected(self):
+        st = MultiSTConnectivity()
+        e = DynamicEngine([st], EngineConfig(n_ranks=2))
+        e.init_program("st", 0, payload=st.register_source(0))
+        e.attach_streams([ListEventStream([(ADD, 0, 1, 1), (ADD, 8, 9, 1)])])
+        e.run()
+        assert not st.is_connected(e.value_of("st", 8), 0)
+
+    def test_multiple_independent_sources(self):
+        st = MultiSTConnectivity()
+        e = DynamicEngine([st], EngineConfig(n_ranks=3))
+        for s in (0, 10):
+            e.init_program("st", s, payload=st.register_source(s))
+        events = [(ADD, 0, 1, 1), (ADD, 10, 11, 1), (ADD, 1, 11, 1)]
+        e.attach_streams([ListEventStream(events)])
+        e.run()
+        # After the bridge, every vertex reaches both sources.
+        for v in (0, 1, 10, 11):
+            assert sorted(st.sources_in(e.value_of("st", v))) == [0, 10]
+
+    def test_set_exchange_on_mixed_sets(self):
+        # Alg. 7's "mix" branch: two flows meeting must exchange fully.
+        st = MultiSTConnectivity()
+        e = DynamicEngine([st], EngineConfig(n_ranks=2))
+        for s in (0, 5):
+            e.init_program("st", s, payload=st.register_source(s))
+        events = [(ADD, 0, 1, 1), (ADD, 5, 4, 1), (ADD, 1, 4, 1)]
+        e.attach_streams([ListEventStream(events)])
+        e.run()
+        assert verify_st(e, "st", [0, 5]) == []
+
+    def test_source_registered_twice_same_bit(self):
+        st = MultiSTConnectivity()
+        assert st.register_source(3) == st.register_source(3)
+
+    def test_random_graph_many_sources_verify(self):
+        rng = np.random.default_rng(4)
+        src, dst = erdos_renyi_edges(100, 300, rng=rng)
+        st = MultiSTConnectivity()
+        e = DynamicEngine([st], EngineConfig(n_ranks=4))
+        sources = [0, 1, 2, 50, 99]
+        for s in sources:
+            e.init_program("st", s, payload=st.register_source(s))
+        e.attach_streams(split_streams(src, dst, 4, rng=rng))
+        e.run()
+        assert verify_st(e, "st", sources) == []
+
+    def test_format_value(self):
+        st = MultiSTConnectivity()
+        st.register_source(7)
+        assert "7" in st.format_value(1)
+
+
+class TestDegreeTracker:
+    def test_tracks_undirected_degree(self):
+        events = [(ADD, 0, 1, 1), (ADD, 0, 2, 1), (ADD, 1, 2, 1)]
+        e = run_events([DegreeTracker()], events)
+        assert e.value_of("degree", 0) == 2
+        assert e.value_of("degree", 1) == 2
+        assert e.value_of("degree", 2) == 2
+
+    def test_duplicate_adds_do_not_inflate(self):
+        e = run_events([DegreeTracker()], [(ADD, 0, 1, 1)] * 4)
+        assert e.value_of("degree", 0) == 1
+
+    def test_delete_decrements(self):
+        events = [(ADD, 0, 1, 1), (ADD, 0, 2, 1), (DELETE, 0, 1, 0)]
+        e = run_events([DegreeTracker()], events)
+        assert e.value_of("degree", 0) == 1
+        assert e.value_of("degree", 1) == 0
+
+    def test_matches_store_degrees_on_random_graph(self):
+        rng = np.random.default_rng(5)
+        src, dst = erdos_renyi_edges(50, 400, rng=rng)
+        e = DynamicEngine([DegreeTracker()], EngineConfig(n_ranks=4))
+        e.attach_streams(split_streams(src, dst, 4, rng=rng))
+        e.run()
+        for v, deg in e.state("degree").items():
+            rank = e.partitioner.owner(v)
+            assert e.stores[rank].degree(v) == deg

@@ -1,0 +1,105 @@
+"""Tests for the verification helpers and throughput metrics."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DynamicEngine,
+    EngineConfig,
+    IncrementalBFS,
+    IncrementalCC,
+    ListEventStream,
+)
+from repro.analytics import (
+    csr_from_engine,
+    throughput_report,
+    verify_bfs,
+    verify_cc,
+)
+from repro.events.types import ADD
+
+
+def small_engine(events, programs=None, init=None):
+    progs = programs or [IncrementalBFS()]
+    e = DynamicEngine(progs, EngineConfig(n_ranks=2))
+    if init is not None:
+        e.init_program(progs[0].name, init)
+    e.attach_streams([ListEventStream(events)])
+    e.run()
+    return e
+
+
+class TestCsrFromEngine:
+    def test_reflects_engine_topology(self):
+        e = small_engine([(ADD, 0, 1, 3)], init=0)
+        g = csr_from_engine(e)
+        assert g.num_edges == 2  # both directions, no extra symmetrize
+        assert g.num_vertices == 2
+        v0 = g.dense_index(0)
+        assert list(g.neighbor_weights(v0)) == [3]
+
+
+class TestVerifiers:
+    def test_verify_bfs_accepts_correct(self):
+        e = small_engine([(ADD, 0, 1, 1), (ADD, 1, 2, 1)], init=0)
+        assert verify_bfs(e, "bfs", 0) == []
+
+    def test_verify_bfs_detects_wrong_value(self):
+        e = small_engine([(ADD, 0, 1, 1)], init=0)
+        rank = e.partitioner.owner(1)
+        e.values[rank][0][1] = 7  # corrupt
+        mm = verify_bfs(e, "bfs", 0)
+        assert len(mm) == 1 and "vertex 1" in mm[0]
+
+    def test_verify_bfs_detects_false_reachability(self):
+        e = small_engine([(ADD, 0, 1, 1), (ADD, 5, 6, 1)], init=0)
+        rank = e.partitioner.owner(5)
+        e.values[rank][0][5] = 3  # claims reachable
+        assert any("static unreached" in m for m in verify_bfs(e, "bfs", 0))
+
+    def test_verify_bfs_detects_missed_vertex(self):
+        e = small_engine([(ADD, 0, 1, 1)], init=0)
+        rank = e.partitioner.owner(1)
+        del e.values[rank][0][1]
+        assert any("dynamic unreached" in m for m in verify_bfs(e, "bfs", 0))
+
+    def test_verify_bfs_with_snapshot_state(self):
+        e = small_engine([(ADD, 0, 1, 1)], init=0)
+        assert verify_bfs(e, "bfs", 0, state={0: 1, 1: 2}) == []
+        assert verify_bfs(e, "bfs", 0, state={0: 1, 1: 9}) != []
+
+    def test_verify_cc_accepts_correct(self):
+        e = small_engine([(ADD, 0, 1, 1)], programs=[IncrementalCC()])
+        assert verify_cc(e, "cc") == []
+
+    def test_verify_cc_detects_wrong_label(self):
+        e = small_engine([(ADD, 0, 1, 1)], programs=[IncrementalCC()])
+        rank = e.partitioner.owner(0)
+        e.values[rank][0][0] = 12345
+        assert verify_cc(e, "cc") != []
+
+
+class TestThroughputReport:
+    def test_report_fields(self):
+        e = small_engine([(ADD, i, i + 1, 1) for i in range(20)], init=0)
+        rep = throughput_report(e, wall_seconds=0.5)
+        assert rep.source_events == 20
+        assert rep.n_ranks == 2
+        assert rep.events_per_second > 0
+        assert rep.visits_per_event > 0
+        assert 0 < rep.mean_utilisation <= 1.0
+        assert rep.makespan == e.loop.max_time()
+
+    def test_summary_readable(self):
+        e = small_engine([(ADD, 0, 1, 1)], init=0)
+        text = throughput_report(e, wall_seconds=0.1).summary()
+        assert "events=1" in text
+        assert "wall time" in text
+
+    def test_zero_event_report(self):
+        e = DynamicEngine([IncrementalBFS()], EngineConfig(n_ranks=1))
+        e.attach_streams([ListEventStream([])])
+        e.run()
+        rep = throughput_report(e)
+        assert rep.events_per_second == 0.0
+        assert rep.visits_per_event == 0.0

@@ -1,0 +1,72 @@
+"""Tests for the virtual-time cost model."""
+
+import pytest
+
+from repro.comm.costmodel import CostModel, RankCounters
+
+
+class TestCostModel:
+    def test_defaults_valid(self):
+        cm = CostModel()
+        assert cm.visit_cpu > 0
+        assert cm.remote_latency > cm.local_latency
+
+    def test_node_mapping(self):
+        cm = CostModel(ranks_per_node=24)
+        assert cm.node_of(0) == 0
+        assert cm.node_of(23) == 0
+        assert cm.node_of(24) == 1
+
+    def test_latency_intra_vs_inter_node(self):
+        cm = CostModel(ranks_per_node=4)
+        assert cm.latency(0, 3) == cm.local_latency
+        assert cm.latency(0, 4) == cm.remote_latency
+        assert cm.latency(5, 5) == cm.local_latency  # self-send
+
+    def test_with_overrides(self):
+        cm = CostModel()
+        cm2 = cm.with_overrides(visit_cpu=1e-3)
+        assert cm2.visit_cpu == 1e-3
+        assert cm2.send_cpu == cm.send_cpu
+        assert cm.visit_cpu != 1e-3  # original untouched (frozen)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CostModel(visit_cpu=-1.0)
+        with pytest.raises(ValueError):
+            CostModel(ranks_per_node=0)
+        with pytest.raises(ValueError):
+            CostModel(dynamic_read_penalty=0)
+
+    def test_frozen(self):
+        cm = CostModel()
+        with pytest.raises(Exception):
+            cm.visit_cpu = 0.5  # type: ignore[misc]
+
+    def test_dynamic_edge_event_magnitude(self):
+        # Calibration sanity: one undirected edge event (pull + ADD visit
+        # + REVERSE_ADD visit + ~2 sends) should land in the low single-
+        # digit microseconds, matching the paper's ~2.4us/event per core.
+        cm = CostModel()
+        per_event = (
+            cm.stream_pull_cpu
+            + 2 * (cm.edge_insert_cpu + cm.visit_cpu)
+            + 2 * cm.send_cpu
+        )
+        assert 1e-6 < per_event < 5e-6
+
+
+class TestRankCounters:
+    def test_merge(self):
+        a = RankCounters(source_events=1, visits=2, busy_time=0.5)
+        b = RankCounters(source_events=3, edge_inserts=4, busy_time=0.25)
+        m = a.merge(b)
+        assert m.source_events == 4
+        assert m.visits == 2
+        assert m.edge_inserts == 4
+        assert m.busy_time == 0.75
+
+    def test_defaults_zero(self):
+        c = RankCounters()
+        assert c.source_events == 0
+        assert c.busy_time == 0.0

@@ -1,0 +1,94 @@
+"""Tests for the distributed static-traversal cost model and snapshot
+bookkeeping dataclasses."""
+
+import pytest
+
+from repro.comm.costmodel import CostModel
+from repro.comm.termination import TerminationCoordinator
+from repro.runtime.snapshot import ActiveCollection, CollectionResult
+
+
+class TestStaticTraversalTime:
+    def test_single_rank_has_no_comm_term(self):
+        cm = CostModel(ranks_per_node=4)
+        t = cm.static_traversal_time(10, 100, n_ranks=1)
+        expect = 10 * cm.static_vertex_cpu + 100 * cm.static_edge_cpu
+        assert t == pytest.approx(expect)
+
+    def test_intra_node_ranks_pay_local_messages(self):
+        cm = CostModel(ranks_per_node=4)
+        t1 = cm.static_traversal_time(0, 1000, n_ranks=1)
+        t4 = cm.static_traversal_time(0, 1000, n_ranks=4)
+        # 4 ranks split the scan work but add local-message overhead.
+        per_edge_4 = t4 * 4 / 1000
+        assert per_edge_4 > cm.static_edge_cpu
+        assert per_edge_4 < cm.static_edge_cpu + cm.static_local_msg_cpu
+
+    def test_cross_node_dominates_at_scale(self):
+        cm = CostModel(ranks_per_node=4)
+        t64 = cm.static_traversal_time(0, 1000, n_ranks=64)
+        per_edge = t64 * 64 / 1000
+        # ~15/16 of scans cross nodes.
+        assert per_edge > cm.static_edge_cpu + 0.8 * cm.static_remote_msg_cpu
+
+    def test_dynamic_read_penalty_multiplies(self):
+        cm = CostModel()
+        base = cm.static_traversal_time(5, 50, 4)
+        pen = cm.static_traversal_time(5, 50, 4, on_dynamic=True)
+        assert pen == pytest.approx(base * cm.dynamic_read_penalty)
+
+    def test_invalid_ranks(self):
+        with pytest.raises(ValueError):
+            CostModel().static_traversal_time(1, 1, 0)
+
+    def test_more_ranks_never_slower_for_fixed_work(self):
+        cm = CostModel(ranks_per_node=4)
+        times = [cm.static_traversal_time(100, 10_000, p) for p in (4, 16, 64, 256)]
+        assert times == sorted(times, reverse=True)
+
+
+class TestSnapshotDataclasses:
+    def make_result(self, **kw):
+        defaults = dict(
+            collection_id=0,
+            prog=0,
+            cut_version=1,
+            requested_at=1.0,
+            completed_at=1.5,
+            state={1: 2},
+            probe_waves=3,
+            vertices_collected=1,
+        )
+        defaults.update(kw)
+        return CollectionResult(**defaults)
+
+    def test_latency(self):
+        assert self.make_result().latency == pytest.approx(0.5)
+
+    def test_active_collection_parts(self):
+        col = ActiveCollection(
+            collection_id=0,
+            prog=0,
+            cut_version=1,
+            requested_at=0.0,
+            detector=TerminationCoordinator(2),
+        )
+        assert not col.all_parts_in(2)
+        col.parts[0] = {1: 10}
+        col.parts[1] = {2: 20}
+        assert col.all_parts_in(2)
+        assert col.merged_state() == {1: 10, 2: 20}
+
+    def test_merged_state_later_parts_win_conflicts(self):
+        col = ActiveCollection(
+            collection_id=0,
+            prog=0,
+            cut_version=1,
+            requested_at=0.0,
+            detector=TerminationCoordinator(2),
+        )
+        # Ranks own disjoint vertices in practice; the merge is a plain
+        # dict update, asserted here so a future change is deliberate.
+        col.parts[0] = {1: 10}
+        col.parts[1] = {1: 99}
+        assert col.merged_state() == {1: 99}

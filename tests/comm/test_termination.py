@@ -1,0 +1,125 @@
+"""Tests for four-counter termination detection (protocol logic)."""
+
+import pytest
+
+from repro.comm.termination import FourCounterState, TerminationCoordinator
+
+
+class TestFourCounterState:
+    def test_counters_by_label(self):
+        s = FourCounterState()
+        s.record_send(0)
+        s.record_send(0, 2)
+        s.record_receive(0)
+        s.record_send(1)
+        assert s.snapshot(0) == (3, 1)
+        assert s.snapshot(1) == (1, 0)
+        assert s.snapshot(7) == (0, 0)
+
+
+class TestCoordinator:
+    def run_wave(self, coord, reports):
+        wid = coord.start_wave()
+        for rank, (s, r, idle) in enumerate(reports):
+            coord.report(wid, rank, s, r, idle)
+        assert coord.wave_complete()
+        return coord.conclude()
+
+    def test_two_consistent_waves_terminate(self):
+        c = TerminationCoordinator(2)
+        assert not self.run_wave(c, [(5, 3, True), (3, 5, True)])
+        assert self.run_wave(c, [(5, 3, True), (3, 5, True)])
+        assert c.terminated
+
+    def test_single_wave_never_terminates(self):
+        c = TerminationCoordinator(2)
+        assert not self.run_wave(c, [(0, 0, True), (0, 0, True)])
+        assert not c.terminated
+
+    def test_unbalanced_counters_do_not_terminate(self):
+        c = TerminationCoordinator(2)
+        reports = [(5, 0, True), (0, 4, True)]  # one message in flight
+        assert not self.run_wave(c, reports)
+        assert not self.run_wave(c, reports)
+
+    def test_non_idle_rank_blocks_termination(self):
+        c = TerminationCoordinator(2)
+        reports = [(2, 2, True), (2, 2, False)]
+        assert not self.run_wave(c, reports)
+        assert not self.run_wave(c, reports)
+
+    def test_changing_counters_reset_the_two_wave_rule(self):
+        c = TerminationCoordinator(1)
+        assert not self.run_wave(c, [(1, 1, True)])
+        assert not self.run_wave(c, [(2, 2, True)])  # progress happened
+        assert self.run_wave(c, [(2, 2, True)])
+
+    def test_stale_wave_reports_ignored(self):
+        c = TerminationCoordinator(2)
+        w0 = c.start_wave()
+        c.report(w0, 0, 1, 1, True)
+        w1 = c.start_wave()  # wave 0 abandoned
+        c.report(w0, 1, 1, 1, True)  # stale
+        assert not c.wave_complete()
+        c.report(w1, 0, 1, 1, True)
+        c.report(w1, 1, 1, 1, True)
+        assert c.wave_complete()
+
+    def test_report_out_of_range_rank(self):
+        c = TerminationCoordinator(2)
+        wid = c.start_wave()
+        with pytest.raises(ValueError):
+            c.report(wid, 5, 0, 0, True)
+
+    def test_conclude_before_complete_raises(self):
+        c = TerminationCoordinator(2)
+        c.start_wave()
+        with pytest.raises(RuntimeError):
+            c.conclude()
+
+    def test_start_wave_after_termination_raises(self):
+        c = TerminationCoordinator(1)
+        self.run_wave(c, [(0, 0, True)])
+        self.run_wave(c, [(0, 0, True)])
+        with pytest.raises(RuntimeError):
+            c.start_wave()
+
+    def test_waves_run_counter(self):
+        c = TerminationCoordinator(1)
+        self.run_wave(c, [(0, 0, True)])
+        self.run_wave(c, [(0, 0, True)])
+        assert c.waves_run == 2
+
+    def test_invalid_rank_count(self):
+        with pytest.raises(ValueError):
+            TerminationCoordinator(0)
+
+
+class TestDetectorSafetyScenario:
+    def test_message_behind_probe_not_missed(self):
+        """The classic race: rank 0 sends to rank 1 *after* reporting.
+
+        Wave 1 sees rank 0 idle with (0,0) before it sends, and rank 1
+        idle with (0,0) before the message arrives -> wave consistent,
+        but termination must not be declared until a *second* consistent
+        wave, by which time the counters have moved.
+        """
+        c = TerminationCoordinator(2)
+        w = c.start_wave()
+        c.report(w, 0, 0, 0, True)  # rank 0 reports, THEN sends a message
+        c.report(w, 1, 0, 0, True)
+        assert not c.conclude()  # first consistent wave: not enough
+        # Second wave observes the in-flight activity.
+        w = c.start_wave()
+        c.report(w, 0, 1, 0, True)  # the send is now visible
+        c.report(w, 1, 0, 0, False)  # receiver busy processing
+        assert not c.conclude()
+        # After the system actually drains, two fresh waves conclude.
+        w = c.start_wave()
+        c.report(w, 0, 1, 0, True)
+        c.report(w, 1, 0, 1, True)
+        assert not c.conclude()
+        w = c.start_wave()
+        c.report(w, 0, 1, 0, True)
+        c.report(w, 1, 0, 1, True)
+        assert c.conclude()

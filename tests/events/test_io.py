@@ -1,0 +1,119 @@
+"""Tests for edge-list file I/O (text and npz round trips)."""
+
+import numpy as np
+import pytest
+
+from repro.events.io import (
+    read_edge_npz,
+    read_edge_text,
+    write_edge_npz,
+    write_edge_text,
+)
+from repro.events.types import ADD, DELETE
+
+
+@pytest.fixture
+def workload():
+    src = np.array([0, 1, 2, 0], dtype=np.int64)
+    dst = np.array([1, 2, 3, 1], dtype=np.int64)
+    weights = np.array([1, 5, 7, 0], dtype=np.int64)
+    kinds = np.array([ADD, ADD, ADD, DELETE], dtype=np.int64)
+    return src, dst, weights, kinds
+
+
+class TestTextRoundTrip:
+    def test_round_trip_with_deletes(self, tmp_path, workload):
+        src, dst, weights, kinds = workload
+        path = tmp_path / "events.txt"
+        n = write_edge_text(path, src, dst, weights, kinds)
+        assert n == 4
+        stream = read_edge_text(path)
+        events = list(stream)
+        assert events == [
+            (ADD, 0, 1, 1),
+            (ADD, 1, 2, 5),
+            (ADD, 2, 3, 7),
+            (DELETE, 0, 1, 1),
+        ]
+
+    def test_header_written_as_comments(self, tmp_path):
+        path = tmp_path / "g.txt"
+        write_edge_text(path, np.array([0]), np.array([1]), header="hello\nworld")
+        text = path.read_text()
+        assert text.startswith("# hello\n# world\n")
+        assert len(list(read_edge_text(path))) == 1
+
+    def test_default_weights_omitted(self, tmp_path):
+        path = tmp_path / "g.txt"
+        write_edge_text(path, np.array([3]), np.array([4]))
+        assert path.read_text().strip() == "3 4"
+
+    def test_plain_snap_style_file_readable(self, tmp_path):
+        path = tmp_path / "snap.txt"
+        path.write_text("# comment\n\n1 2\n2 3 9\n")
+        events = list(read_edge_text(path))
+        assert events == [(ADD, 1, 2, 1), (ADD, 2, 3, 9)]
+
+    def test_malformed_line_reports_lineno(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1 2\n1 2 3 4\n")
+        with pytest.raises(ValueError, match="bad.txt:2"):
+            read_edge_text(path)
+
+    def test_non_integer_field(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1 x\n")
+        with pytest.raises(ValueError, match="non-integer"):
+            read_edge_text(path)
+
+    def test_weighted_delete_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("d 1 2 7\n")
+        with pytest.raises(ValueError, match="no weight"):
+            read_edge_text(path)
+
+    def test_add_only_stream_has_no_kinds(self, tmp_path):
+        path = tmp_path / "g.txt"
+        write_edge_text(path, np.array([0, 1]), np.array([1, 2]))
+        stream = read_edge_text(path)
+        assert all(ev[0] == ADD for ev in stream)
+
+
+class TestNpzRoundTrip:
+    def test_round_trip(self, tmp_path, workload):
+        src, dst, weights, kinds = workload
+        path = tmp_path / "events.npz"
+        write_edge_npz(path, src, dst, weights, kinds)
+        stream = read_edge_npz(path)
+        assert list(stream) == [
+            (ADD, 0, 1, 1),
+            (ADD, 1, 2, 5),
+            (ADD, 2, 3, 7),
+            (DELETE, 0, 1, 0),
+        ]
+
+    def test_defaults(self, tmp_path):
+        path = tmp_path / "e.npz"
+        write_edge_npz(path, np.array([5]), np.array([6]))
+        assert list(read_edge_npz(path)) == [(ADD, 5, 6, 1)]
+
+    def test_missing_column_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, src=np.array([1]), dst=np.array([2]))
+        with pytest.raises(ValueError, match="missing column"):
+            read_edge_npz(path)
+
+
+class TestEngineIntegration:
+    def test_file_to_engine(self, tmp_path):
+        from repro import DynamicEngine, EngineConfig, IncrementalBFS
+
+        path = tmp_path / "chain.txt"
+        write_edge_text(
+            path, np.arange(10), np.arange(10) + 1
+        )
+        e = DynamicEngine([IncrementalBFS()], EngineConfig(n_ranks=2))
+        e.init_program("bfs", 0)
+        e.attach_streams([read_edge_text(path)])
+        e.run()
+        assert e.value_of("bfs", 10) == 11

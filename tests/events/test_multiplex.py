@@ -1,0 +1,76 @@
+"""Tests for the stream multiplexer (interleaving semantics)."""
+
+import numpy as np
+import pytest
+
+from repro.events import ListEventStream, StreamMultiplexer
+from repro.events.types import ADD
+
+
+def mk(ids, stream_id=0):
+    return ListEventStream([(ADD, i, i + 100, 1) for i in ids], stream_id=stream_id)
+
+
+class TestRoundRobin:
+    def test_interleaves_fairly(self):
+        mux = StreamMultiplexer([mk([1, 2]), mk([10, 20])])
+        srcs = [e[1] for e in mux]
+        assert srcs == [1, 10, 2, 20]
+
+    def test_skips_exhausted_streams(self):
+        mux = StreamMultiplexer([mk([1]), mk([10, 20, 30])])
+        srcs = [e[1] for e in mux]
+        assert srcs == [1, 10, 20, 30]
+
+    def test_remaining(self):
+        mux = StreamMultiplexer([mk([1, 2]), mk([3])])
+        assert mux.remaining() == 3
+        mux.pull()
+        assert mux.remaining() == 2
+
+    def test_empty_streams(self):
+        mux = StreamMultiplexer([mk([]), mk([])])
+        assert mux.pull() is None
+
+
+class TestRandomPolicy:
+    def test_requires_rng(self):
+        with pytest.raises(ValueError):
+            StreamMultiplexer([mk([1])], policy="random")
+
+    def test_preserves_per_stream_order(self):
+        rng = np.random.default_rng(5)
+        a, b = [1, 2, 3, 4], [10, 20, 30, 40]
+        mux = StreamMultiplexer([mk(a), mk(b)], policy="random", rng=rng)
+        srcs = [e[1] for e in mux]
+        assert [s for s in srcs if s < 10] == a
+        assert [s for s in srcs if s >= 10] == b
+
+    def test_seeded_determinism(self):
+        order1 = [
+            e[1]
+            for e in StreamMultiplexer(
+                [mk([1, 2, 3]), mk([10, 20, 30])],
+                policy="random",
+                rng=np.random.default_rng(9),
+            )
+        ]
+        order2 = [
+            e[1]
+            for e in StreamMultiplexer(
+                [mk([1, 2, 3]), mk([10, 20, 30])],
+                policy="random",
+                rng=np.random.default_rng(9),
+            )
+        ]
+        assert order1 == order2
+
+
+class TestValidation:
+    def test_no_streams_rejected(self):
+        with pytest.raises(ValueError):
+            StreamMultiplexer([])
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            StreamMultiplexer([mk([1])], policy="lifo")

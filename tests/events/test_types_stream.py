@@ -1,0 +1,138 @@
+"""Tests for event types and ordered streams."""
+
+import numpy as np
+import pytest
+
+from repro.events import (
+    ADD,
+    DELETE,
+    ArrayEventStream,
+    EdgeEvent,
+    ListEventStream,
+    kind_name,
+    split_round_robin,
+    split_streams,
+)
+
+
+class TestEventTypes:
+    def test_kind_names(self):
+        assert kind_name(ADD) == "ADD"
+        assert kind_name(DELETE) == "DELETE"
+        with pytest.raises(ValueError):
+            kind_name(99)
+
+    def test_edge_event_is_hot_path_tuple(self):
+        ev = EdgeEvent.add(1, 2, 5)
+        assert tuple(ev) == (ADD, 1, 2, 5)
+
+    def test_delete_constructor(self):
+        ev = EdgeEvent.delete(3, 4)
+        assert ev.kind == DELETE
+        assert (ev.src, ev.dst) == (3, 4)
+
+    def test_repr_readable(self):
+        assert "ADD(1->2" in repr(EdgeEvent.add(1, 2, 7))
+        assert "DELETE(3->4)" == repr(EdgeEvent.delete(3, 4))
+
+
+class TestArrayEventStream:
+    def test_pull_order_and_exhaustion(self):
+        s = ArrayEventStream(np.array([1, 3]), np.array([2, 4]))
+        assert s.pull() == (ADD, 1, 2, 1)
+        assert s.remaining() == 1
+        assert s.pull() == (ADD, 3, 4, 1)
+        assert s.pull() is None
+        assert s.exhausted
+
+    def test_weights_and_kinds(self):
+        s = ArrayEventStream(
+            np.array([1, 1]),
+            np.array([2, 2]),
+            weights=np.array([9, 0]),
+            kinds=np.array([ADD, DELETE]),
+        )
+        assert s.pull() == (ADD, 1, 2, 9)
+        assert s.pull() == (DELETE, 1, 2, 0)
+
+    def test_iteration_protocol(self):
+        s = ArrayEventStream(np.arange(5), np.arange(5) + 10)
+        events = list(s)
+        assert len(events) == 5
+        assert events[3] == (ADD, 3, 13, 1)
+
+    def test_reset_replays(self):
+        s = ArrayEventStream(np.array([1]), np.array([2]))
+        first = list(s)
+        s.reset()
+        assert list(s) == first
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ArrayEventStream(np.array([1]), np.array([1, 2]))
+        with pytest.raises(ValueError):
+            ArrayEventStream(np.array([1]), np.array([2]), weights=np.array([1, 2]))
+        with pytest.raises(ValueError):
+            ArrayEventStream(np.array([1]), np.array([2]), kinds=np.array([7]))
+
+
+class TestListEventStream:
+    def test_pull(self):
+        s = ListEventStream([(ADD, 1, 2, 1), (DELETE, 1, 2, 0)])
+        assert s.pull() == (ADD, 1, 2, 1)
+        assert s.pull() == (DELETE, 1, 2, 0)
+        assert s.pull() is None
+
+    def test_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            ListEventStream([(ADD, 1, 2)])
+        with pytest.raises(ValueError):
+            ListEventStream([(5, 1, 2, 1)])
+
+    def test_accepts_edge_events(self):
+        s = ListEventStream([EdgeEvent.add(1, 2)])
+        assert s.pull() == (ADD, 1, 2, 1)
+
+
+class TestSplitting:
+    def test_round_robin_partition(self):
+        parts = split_round_robin(10, 3)
+        all_idx = np.sort(np.concatenate(parts))
+        assert np.array_equal(all_idx, np.arange(10))
+        assert max(len(p) for p in parts) - min(len(p) for p in parts) <= 1
+
+    def test_split_round_robin_invalid(self):
+        with pytest.raises(ValueError):
+            split_round_robin(10, 0)
+
+    def test_split_streams_preserves_all_edges(self):
+        rng = np.random.default_rng(0)
+        src = np.arange(100)
+        dst = np.arange(100) + 1000
+        streams = split_streams(src, dst, 7, rng=rng)
+        assert len(streams) == 7
+        got = sorted((s_, d) for st in streams for (_, s_, d, _) in st)
+        assert got == sorted(zip(src, dst))
+
+    def test_split_streams_shuffle_is_seeded(self):
+        src, dst = np.arange(50), np.arange(50) + 100
+        a = split_streams(src, dst, 3, rng=np.random.default_rng(1))
+        b = split_streams(src, dst, 3, rng=np.random.default_rng(1))
+        assert [list(x) for x in a] == [list(y) for y in b]
+
+    def test_split_streams_no_rng_keeps_order(self):
+        src, dst = np.arange(6), np.arange(6) + 10
+        streams = split_streams(src, dst, 2)
+        assert [e[1] for e in streams[0]] == [0, 2, 4]
+        assert [e[1] for e in streams[1]] == [1, 3, 5]
+
+    def test_stream_ids_assigned(self):
+        streams = split_streams(np.arange(4), np.arange(4), 2)
+        assert [s.stream_id for s in streams] == [0, 1]
+
+    def test_kinds_travel_with_split(self):
+        src, dst = np.arange(4), np.arange(4) + 10
+        kinds = np.array([ADD, DELETE, ADD, DELETE])
+        streams = split_streams(src, dst, 2, kinds=kinds)
+        kinds_seen = sorted(k for st in streams for (k, *_ ) in st)
+        assert kinds_seen == [ADD, ADD, DELETE, DELETE]

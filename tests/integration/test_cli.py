@@ -1,0 +1,89 @@
+"""Tests for the repro CLI (python -m repro)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.graph == "rmat"
+        assert args.algo == "bfs"
+        assert args.nodes == 1
+
+    def test_rejects_unknown_graph(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--graph", "orkut"])
+
+    def test_rejects_unknown_algo(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--algo", "pagerank"])
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestRun:
+    def run_cli(self, *argv, capsys=None):
+        code = main(["run", "--scale", "8", "--edge-factor", "4", *argv])
+        return code
+
+    @pytest.mark.parametrize("algo", ["con", "bfs", "det-bfs", "sssp", "cc", "st"])
+    def test_each_algorithm_runs(self, algo, capsys):
+        assert self.run_cli("--algo", algo) == 0
+        out = capsys.readouterr().out
+        assert "events=" in out
+
+    @pytest.mark.parametrize("algo", ["bfs", "det-bfs", "sssp", "cc", "st"])
+    def test_verify_passes(self, algo, capsys):
+        assert self.run_cli("--algo", algo, "--verify") == 0
+        assert "verify: OK" in capsys.readouterr().out
+
+    def test_verify_con_is_noop(self, capsys):
+        assert self.run_cli("--algo", "con", "--verify") == 0
+        assert "nothing to verify" in capsys.readouterr().out
+
+    def test_preset_graph(self, capsys):
+        assert self.run_cli("--graph", "twitter", "--algo", "cc") == 0
+        assert "Twitter" in capsys.readouterr().out
+
+    def test_snapshot(self, capsys):
+        assert self.run_cli("--algo", "bfs", "--snapshot-at", "0.5") == 0
+        assert "snapshot #0" in capsys.readouterr().out
+
+    def test_multiple_st_sources(self, capsys):
+        assert self.run_cli("--algo", "st", "--sources", "3", "--verify") == 0
+        assert "verify: OK" in capsys.readouterr().out
+
+    def test_multi_node(self, capsys):
+        assert self.run_cli("--nodes", "2", "--ranks-per-node", "3") == 0
+        assert "ranks=6" in capsys.readouterr().out
+
+    def test_generate_then_run_text(self, tmp_path, capsys):
+        out_file = str(tmp_path / "wl.txt")
+        assert main(["generate", "--scale", "8", "--edge-factor", "4", "-o", out_file]) == 0
+        assert main(["run", "--input", out_file, "--algo", "cc", "--verify"]) == 0
+        out = capsys.readouterr().out
+        assert "wrote 1,024 events" in out
+        assert "verify: OK" in out
+
+    def test_generate_then_run_npz(self, tmp_path, capsys):
+        out_file = str(tmp_path / "wl.npz")
+        assert main(
+            ["generate", "--scale", "8", "--edge-factor", "4", "--weights", "-o", out_file]
+        ) == 0
+        assert main(["run", "--input", out_file, "--algo", "sssp", "--verify"]) == 0
+        assert "verify: OK" in capsys.readouterr().out
+
+    def test_generate_requires_output(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate"])
+
+    def test_seed_changes_graph(self, capsys):
+        self.run_cli("--seed", "1")
+        out1 = capsys.readouterr().out
+        self.run_cli("--seed", "1")
+        out2 = capsys.readouterr().out
+        assert out1.split("wall time")[0] == out2.split("wall time")[0]

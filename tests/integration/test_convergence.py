@@ -1,0 +1,145 @@
+"""Integration: the REMO convergence guarantee across configurations.
+
+§II-D claims any asynchronous, concurrent interleaving converges to the
+deterministic answer.  These tests sweep rank counts, stream splits,
+partitioners, and interleavings on moderate graphs and verify all four
+algorithms against their static baselines — plus multi-algorithm
+co-execution, which the paper lists as a design goal its prototype
+lacked.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DegreeTracker,
+    DynamicEngine,
+    EngineConfig,
+    IncrementalBFS,
+    IncrementalCC,
+    IncrementalSSSP,
+    MultiSTConnectivity,
+    split_streams,
+)
+from repro.analytics import verify_bfs, verify_cc, verify_sssp, verify_st
+from repro.generators import generate_preset, rmat_edges
+from repro.generators.weights import pairwise_weights
+from repro.partition import ModuloPartitioner
+
+
+def rmat_workload(seed, scale=8, ef=6):
+    rng = np.random.default_rng(seed)
+    src, dst = rmat_edges(scale, edge_factor=ef, rng=rng)
+    w = pairwise_weights(src, dst, 1, 30)
+    return src, dst, w
+
+
+class TestRankCountSweep:
+    @pytest.mark.parametrize("n_ranks", [1, 2, 3, 8, 24])
+    def test_bfs_converges_at_any_rank_count(self, n_ranks):
+        src, dst, _ = rmat_workload(0)
+        e = DynamicEngine([IncrementalBFS()], EngineConfig(n_ranks=n_ranks))
+        source = int(src[0])
+        e.init_program("bfs", source)
+        e.attach_streams(split_streams(src, dst, n_ranks, rng=np.random.default_rng(1)))
+        e.run()
+        assert verify_bfs(e, "bfs", source) == []
+
+    @pytest.mark.parametrize("n_ranks", [1, 5, 16])
+    def test_cc_converges_at_any_rank_count(self, n_ranks):
+        src, dst, _ = rmat_workload(2)
+        e = DynamicEngine([IncrementalCC()], EngineConfig(n_ranks=n_ranks))
+        e.attach_streams(split_streams(src, dst, n_ranks, rng=np.random.default_rng(3)))
+        e.run()
+        assert verify_cc(e, "cc") == []
+
+
+class TestInterleavingIndependence:
+    def test_final_state_identical_across_shuffles(self):
+        src, dst, _ = rmat_workload(4, scale=7)
+        states = []
+        for shuffle_seed in (10, 11, 12):
+            e = DynamicEngine([IncrementalBFS()], EngineConfig(n_ranks=4))
+            source = int(src[0])
+            e.init_program("bfs", source)
+            e.attach_streams(
+                split_streams(src, dst, 4, rng=np.random.default_rng(shuffle_seed))
+            )
+            e.run()
+            states.append(e.state("bfs"))
+        assert states[0] == states[1] == states[2]
+
+    def test_init_timing_does_not_change_answer(self):
+        src, dst, _ = rmat_workload(5, scale=7)
+        source = int(src[0])
+        results = []
+        for at_time in (0.0, 1e-4, 10.0):  # before, during, after ingestion
+            e = DynamicEngine([IncrementalBFS()], EngineConfig(n_ranks=4))
+            e.init_program("bfs", source, at_time=at_time)
+            e.attach_streams(split_streams(src, dst, 4, rng=np.random.default_rng(6)))
+            e.run()
+            assert verify_bfs(e, "bfs", source) == []
+            results.append(e.state("bfs"))
+        assert results[0] == results[1] == results[2]
+
+
+class TestPartitionerIndependence:
+    def test_modulo_partitioner_also_converges(self):
+        src, dst, _ = rmat_workload(7, scale=7)
+        e = DynamicEngine(
+            [IncrementalCC()],
+            EngineConfig(n_ranks=6),
+            partitioner=ModuloPartitioner(6),
+        )
+        e.attach_streams(split_streams(src, dst, 6, rng=np.random.default_rng(8)))
+        e.run()
+        assert verify_cc(e, "cc") == []
+
+
+class TestAllAlgorithmsTogether:
+    def test_four_programs_one_topology(self):
+        """The design goal of §I: multiple live queries over one
+        dynamic data structure (the paper's prototype supports one)."""
+        src, dst, w = rmat_workload(9)
+        bfs, sssp, cc, st = (
+            IncrementalBFS(),
+            IncrementalSSSP(),
+            IncrementalCC(),
+            MultiSTConnectivity(),
+        )
+        e = DynamicEngine([bfs, sssp, cc, st, DegreeTracker()], EngineConfig(n_ranks=8))
+        source = int(src[0])
+        e.init_program("bfs", source)
+        e.init_program("sssp", source)
+        sources = sorted({int(v) for v in src[:3]})
+        for s in sources:
+            e.init_program("st", s, payload=st.register_source(s))
+        e.attach_streams(
+            split_streams(src, dst, 8, weights=w, rng=np.random.default_rng(10))
+        )
+        e.run()
+        assert verify_bfs(e, "bfs", source) == []
+        assert verify_sssp(e, "sssp", source) == []
+        assert verify_cc(e, "cc") == []
+        assert verify_st(e, "st", sources) == []
+
+    def test_preset_workloads_converge(self):
+        for name in ("twitter", "friendster"):
+            rng = np.random.default_rng(11)
+            src, dst, _ = generate_preset(name, rng, scale=9)
+            e = DynamicEngine([IncrementalCC()], EngineConfig(n_ranks=4))
+            e.attach_streams(split_streams(src, dst, 4, rng=rng))
+            e.run()
+            assert verify_cc(e, "cc") == [], name
+
+
+class TestScaleSanity:
+    def test_larger_rmat_converges(self):
+        src, dst, _ = rmat_workload(12, scale=10, ef=8)
+        e = DynamicEngine([IncrementalBFS()], EngineConfig(n_ranks=24))
+        source = int(src[0])
+        e.init_program("bfs", source)
+        e.attach_streams(split_streams(src, dst, 24, rng=np.random.default_rng(13)))
+        e.run()
+        assert verify_bfs(e, "bfs", source) == []
+        assert e.source_event_rate() > 0

@@ -1,0 +1,53 @@
+"""Smoke tests: every example script runs clean and prints its story."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "BFS source" in out
+    assert "[trigger]" in out
+    assert "converged:" in out
+
+
+def test_fraud_alert():
+    out = run_example("fraud_alert.py")
+    assert "[ALERT]" in out
+    assert "alert latency" in out
+
+
+def test_social_reachability():
+    out = run_example("social_reachability.py")
+    assert "snapshot" in out
+    assert out.count("t=") >= 3  # three snapshot rows
+
+
+def test_forum_components():
+    out = run_example("forum_components.py")
+    assert "after moderation deletes" in out
+    assert "same community now? False" in out
+    assert "OK" in out
+
+
+def test_multi_query_dashboard():
+    out = run_example("multi_query_dashboard.py")
+    assert "dashboard after quiescence" in out
+    for check in ("sssp: OK", "cc: OK", "st: OK"):
+        assert check in out

@@ -1,0 +1,107 @@
+"""Tests for partitioners and balance diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.generators.rmat import rmat_edges
+from repro.partition import (
+    BlockPartitioner,
+    ConsistentHashPartitioner,
+    ModuloPartitioner,
+    measure_balance,
+)
+
+
+class TestConsistentHash:
+    def test_range_and_determinism(self):
+        p = ConsistentHashPartitioner(8)
+        owners = [p.owner(v) for v in range(1000)]
+        assert all(0 <= o < 8 for o in owners)
+        assert owners == [p.owner(v) for v in range(1000)]
+
+    def test_scalar_matches_array(self):
+        p = ConsistentHashPartitioner(7, salt=3)
+        ids = np.arange(500)
+        assert list(p.owner_array(ids)) == [p.owner(int(v)) for v in ids]
+
+    def test_vertex_balance_on_dense_ids(self):
+        # §III-C: consistent hashing balances *vertices* well.
+        p = ConsistentHashPartitioner(16)
+        counts = np.bincount(p.owner_array(np.arange(40_000)), minlength=16)
+        assert counts.max() / counts.mean() < 1.05
+
+    def test_salt_changes_assignment(self):
+        a = ConsistentHashPartitioner(8, salt=0).owner_array(np.arange(100))
+        b = ConsistentHashPartitioner(8, salt=1).owner_array(np.arange(100))
+        assert not np.array_equal(a, b)
+
+    def test_single_rank(self):
+        p = ConsistentHashPartitioner(1)
+        assert all(p.owner(v) == 0 for v in range(100))
+
+    def test_invalid_ranks(self):
+        with pytest.raises(ValueError):
+            ConsistentHashPartitioner(0)
+
+
+class TestModuloAndBlock:
+    def test_modulo(self):
+        p = ModuloPartitioner(4)
+        assert p.owner(7) == 3
+        assert list(p.owner_array(np.array([0, 1, 4, 5]))) == [0, 1, 0, 1]
+
+    def test_block_ranges(self):
+        p = BlockPartitioner(4, num_vertices=100)
+        assert p.owner(0) == 0
+        assert p.owner(24) == 0
+        assert p.owner(25) == 1
+        assert p.owner(99) == 3
+
+    def test_block_out_of_universe(self):
+        p = BlockPartitioner(4, num_vertices=100)
+        with pytest.raises(ValueError):
+            p.owner(100)
+        with pytest.raises(ValueError):
+            p.owner_array(np.array([-1]))
+
+    def test_block_array_matches_scalar(self):
+        p = BlockPartitioner(3, num_vertices=10)
+        ids = np.arange(10)
+        assert list(p.owner_array(ids)) == [p.owner(int(v)) for v in ids]
+
+
+class TestBalanceDiagnostics:
+    def test_perfectly_balanced_stats(self):
+        p = ModuloPartitioner(2)
+        src = np.array([0, 1, 2, 3])
+        dst = np.array([1, 0, 3, 2])
+        stats = measure_balance(p, src, dst)
+        assert stats.vertex_imbalance == 1.0
+        assert stats.edge_imbalance == 1.0
+        assert stats.vertex_cv == 0.0
+
+    def test_power_law_edge_imbalance_exceeds_vertex(self):
+        # §III-C's caveat: on skewed graphs, edges are less balanced
+        # than vertices under hash partitioning.
+        rng = np.random.default_rng(4)
+        src, dst = rmat_edges(12, edge_factor=8, rng=rng, scramble=True)
+        stats = measure_balance(ConsistentHashPartitioner(16), src, dst)
+        assert stats.edge_cv > stats.vertex_cv
+
+    def test_counts_cover_everything(self):
+        rng = np.random.default_rng(5)
+        src = rng.integers(0, 100, 500)
+        dst = rng.integers(0, 100, 500)
+        stats = measure_balance(ConsistentHashPartitioner(8), src, dst)
+        n_vertices = len(np.unique(np.concatenate([src, dst])))
+        assert sum(stats.vertex_counts) == n_vertices
+        assert sum(stats.edge_counts) == 500
+
+    def test_empty_graph(self):
+        stats = measure_balance(
+            ConsistentHashPartitioner(4),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+        )
+        assert stats.vertex_imbalance == 1.0
+        assert stats.edge_cv == 0.0

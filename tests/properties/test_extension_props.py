@@ -1,0 +1,135 @@
+"""Property tests for the extension algorithms (widest path, det-BFS)
+and the versioned-snapshot prefix property."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import numpy as np
+
+from repro import (
+    DynamicEngine,
+    EngineConfig,
+    INF,
+    IncrementalBFS,
+    ListEventStream,
+    WidestPath,
+)
+from repro.algorithms.bfs_parents import DeterministicBFS
+from repro.algorithms.widest_path import static_widest_path
+from repro.analytics import verify_bfs
+from repro.analytics.verify import csr_from_engine
+from repro.events.types import ADD
+
+edge = st.tuples(st.integers(0, 12), st.integers(0, 12)).filter(lambda e: e[0] != e[1])
+weighted_edge = st.tuples(edge, st.integers(1, 9))
+edge_list = st.lists(weighted_edge, min_size=1, max_size=50)
+
+
+def split(events, n):
+    streams = [[] for _ in range(n)]
+    for i, ev in enumerate(events):
+        streams[i % n].append(ev)
+    return [ListEventStream(evts, stream_id=k) for k, evts in enumerate(streams)]
+
+
+def dedupe_pair_weights(edges):
+    """One weight per undirected pair (program precondition)."""
+    chosen: dict[tuple[int, int], int] = {}
+    events = []
+    for (s, d), w in edges:
+        key = (min(s, d), max(s, d))
+        w = chosen.setdefault(key, w)
+        events.append((ADD, s, d, w))
+    return events
+
+
+@given(edges=edge_list, n_ranks=st.integers(1, 4))
+@settings(max_examples=40, deadline=None)
+def test_widest_path_matches_oracle(edges, n_ranks):
+    events = dedupe_pair_weights(edges)
+    source = events[0][1]
+    e = DynamicEngine([WidestPath()], EngineConfig(n_ranks=n_ranks))
+    e.init_program("widest", source)
+    e.attach_streams(split(events, n_ranks))
+    e.run()
+    expect = static_widest_path(csr_from_engine(e), source)
+    got = {v: c for v, c in e.state("widest").items() if c > 0}
+    assert got == expect
+
+
+@given(edges=edge_list)
+@settings(max_examples=30, deadline=None)
+def test_widest_path_capacities_monotonically_increase(edges):
+    events = dedupe_pair_weights(edges)
+    source = events[0][1]
+    e = DynamicEngine([WidestPath()], EngineConfig(n_ranks=3))
+    history: dict[int, list[int]] = {}
+    e.add_trigger(
+        "widest",
+        lambda v, val: True,
+        lambda v, val, t: history.setdefault(v, []).append(val),
+        once=False,
+    )
+    e.init_program("widest", source)
+    e.attach_streams(split(events, 3))
+    e.run()
+    for v, values in history.items():
+        for a, b in zip(values, values[1:]):
+            assert b >= a, f"vertex {v} capacity decreased: {values}"
+
+
+@given(edges=edge_list, seed_a=st.integers(0, 5), seed_b=st.integers(0, 5))
+@settings(max_examples=30, deadline=None)
+def test_det_bfs_tree_identical_across_rank_counts(edges, seed_a, seed_b):
+    events = [(ADD, s, d, 1) for (s, d), _w in edges]
+    source = events[0][1]
+    states = []
+    for n_ranks in (1 + seed_a % 3, 1 + seed_b % 4):
+        e = DynamicEngine([DeterministicBFS()], EngineConfig(n_ranks=n_ranks))
+        e.init_program("det-bfs", source)
+        e.attach_streams(split(events, n_ranks))
+        e.run()
+        states.append(e.state("det-bfs"))
+    assert states[0] == states[1]
+
+
+@given(edges=edge_list, cut_frac=st.floats(0.1, 0.9))
+@settings(max_examples=30, deadline=None)
+def test_snapshot_prefix_property(edges, cut_frac):
+    """A versioned snapshot equals static BFS on exactly the per-rank
+    cut prefixes, for arbitrary graphs and cut times."""
+    from repro.staticalgs import static_bfs
+    from repro.storage.csr import CSRGraph
+
+    events = [(ADD, s, d, 1) for (s, d), _w in edges]
+    source = events[0][1]
+    n_ranks = 3
+    streams = split(events, n_ranks)
+    replay = [list(s) for s in streams]
+    for s in streams:
+        s.reset()
+    e = DynamicEngine([IncrementalBFS()], EngineConfig(n_ranks=n_ranks))
+    e.init_program("bfs", source)
+    e.attach_streams(streams)
+    # estimate makespan crudely; queued collections tolerate any time
+    e.request_collection("bfs", at_time=cut_frac * len(events) * 2.5e-6 / n_ranks)
+    e.run()
+    res = e.collection_results[0]
+    cuts = e.cut_positions[res.collection_id]
+    pre_src, pre_dst = [], []
+    for rank, evts in enumerate(replay):
+        for _, s_, d_, _w in evts[: cuts.get(rank, 0)]:
+            pre_src.append(s_)
+            pre_dst.append(d_)
+    got = {v: val for v, val in res.state.items() if 0 < val < INF}
+    if not pre_src:
+        # Empty edge prefix: at most the init()'d source is in scope.
+        assert got in ({}, {source: 1})
+        return
+    prefix = CSRGraph.from_edges(
+        np.array(pre_src), np.array(pre_dst), symmetrize=True
+    )
+    expect, _ = static_bfs(prefix, source)
+    # The init() visitor is version-0 work too: the source may appear
+    # in the snapshot even if the prefix contains no edge touching it.
+    assert got == expect or got == {**expect, source: 1}

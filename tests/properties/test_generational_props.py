@@ -1,0 +1,99 @@
+"""Property-based tests for the §VI-B generational (delete) algorithms.
+
+Hypothesis drives arbitrary interleaved add/delete sequences through
+the generational programs at random rank counts and checks convergence
+to the static answer on whatever topology results.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    DynamicEngine,
+    EngineConfig,
+    GenerationalBFS,
+    GenerationalCC,
+    INF,
+    ListEventStream,
+)
+from repro.analytics import verify_bfs, verify_cc
+from repro.events.types import ADD, DELETE
+
+DIST = lambda v: v[1]  # noqa: E731
+LABEL = lambda v: v[1]  # noqa: E731
+
+edge = st.tuples(st.integers(0, 9), st.integers(0, 9)).filter(lambda e: e[0] != e[1])
+
+
+@st.composite
+def add_delete_sequences(draw):
+    """A sequence of events where deletes target previously added edges
+    (with occasional spurious deletes of absent edges)."""
+    n_ops = draw(st.integers(1, 25))
+    added: list[tuple[int, int]] = []
+    events = []
+    for _ in range(n_ops):
+        if added and draw(st.booleans()) and draw(st.booleans()):
+            s, d = draw(st.sampled_from(added))
+            events.append((DELETE, s, d, 0))
+        elif draw(st.integers(0, 9)) == 0:
+            s, d = draw(edge)
+            events.append((DELETE, s, d, 0))  # spurious delete
+        else:
+            s, d = draw(edge)
+            added.append((s, d))
+            events.append((ADD, s, d, 1))
+    return events
+
+
+def split(events, n):
+    streams = [[] for _ in range(n)]
+    for i, ev in enumerate(events):
+        streams[i % n].append(ev)
+    return [ListEventStream(evts, stream_id=k) for k, evts in enumerate(streams)]
+
+
+@given(events=add_delete_sequences(), n_ranks=st.integers(1, 4))
+@settings(max_examples=25, deadline=None)
+def test_generational_bfs_converges_with_deletes(events, n_ranks):
+    source = next((e[1] for e in events if e[0] == ADD), 0)
+    e = DynamicEngine([GenerationalBFS()], EngineConfig(n_ranks=n_ranks))
+    e.init_program("gen-bfs", source)
+    e.attach_streams(split(events, n_ranks))
+    e.run()
+    assert e.loop.quiescent()
+    assert verify_bfs(e, "gen-bfs", source, value_of=DIST) == []
+
+
+@given(events=add_delete_sequences(), n_ranks=st.integers(1, 4))
+@settings(max_examples=25, deadline=None)
+def test_generational_cc_converges_with_deletes(events, n_ranks):
+    e = DynamicEngine([GenerationalCC()], EngineConfig(n_ranks=n_ranks))
+    e.attach_streams(split(events, n_ranks))
+    e.run()
+    assert verify_cc(e, "gen-cc", value_of=LABEL) == []
+
+
+@given(events=add_delete_sequences())
+@settings(max_examples=20, deadline=None)
+def test_generational_state_is_gen_monotone(events):
+    """The §VI-B invariant: the (generation, value) pair is monotone —
+    generations never decrease, and within one generation a distance
+    never increases except by entering a new generation."""
+    e = DynamicEngine([GenerationalBFS()], EngineConfig(n_ranks=3))
+    source = next((ev[1] for ev in events if ev[0] == ADD), 0)
+    history: dict[int, list] = {}
+    e.add_trigger(
+        "gen-bfs",
+        lambda v, val: val != 0,
+        lambda v, val, t: history.setdefault(v, []).append(val),
+        once=False,
+    )
+    e.init_program("gen-bfs", source)
+    e.attach_streams(split(events, 3))
+    e.run()
+    for v, values in history.items():
+        for (g1, d1, _p1), (g2, d2, _p2) in zip(values, values[1:]):
+            assert g2 >= g1, f"vertex {v}: generation decreased {values}"
+            if g2 == g1:
+                assert d2 <= d1, f"vertex {v}: distance rose within gen {values}"

@@ -1,0 +1,136 @@
+"""Property-based tests of the REMO guarantees (hypothesis).
+
+Random edge lists, random stream splits, random rank counts — the core
+claims must hold in every case:
+
+* monotonicity: each vertex's value moves in one direction only;
+* convergence: the quiesced dynamic state equals the static answer on
+  the final topology;
+* determinism: the answer is independent of the interleaving.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import numpy as np
+
+from repro import (
+    DynamicEngine,
+    EngineConfig,
+    IncrementalBFS,
+    IncrementalCC,
+    IncrementalSSSP,
+    INF,
+    ListEventStream,
+)
+from repro.analytics import verify_bfs, verify_cc, verify_sssp
+from repro.events.types import ADD
+
+# Small vertex universe forces dense collision-rich graphs.
+edge = st.tuples(st.integers(0, 15), st.integers(0, 15)).filter(lambda e: e[0] != e[1])
+edge_list = st.lists(edge, min_size=1, max_size=60)
+rank_count = st.integers(1, 6)
+
+
+def build_streams(edges, n_streams, weights=None):
+    streams = [[] for _ in range(n_streams)]
+    for i, (s, d) in enumerate(edges):
+        w = 1 if weights is None else weights[i]
+        streams[i % n_streams].append((ADD, s, d, w))
+    return [ListEventStream(evts, stream_id=k) for k, evts in enumerate(streams)]
+
+
+@given(edges=edge_list, n_ranks=rank_count)
+@settings(max_examples=60, deadline=None)
+def test_bfs_converges_for_any_graph_and_split(edges, n_ranks):
+    source = edges[0][0]
+    e = DynamicEngine([IncrementalBFS()], EngineConfig(n_ranks=n_ranks))
+    e.init_program("bfs", source)
+    e.attach_streams(build_streams(edges, n_ranks))
+    e.run()
+    assert e.loop.quiescent()
+    assert verify_bfs(e, "bfs", source) == []
+
+
+@given(edges=edge_list, n_ranks=rank_count)
+@settings(max_examples=60, deadline=None)
+def test_cc_converges_for_any_graph_and_split(edges, n_ranks):
+    e = DynamicEngine([IncrementalCC()], EngineConfig(n_ranks=n_ranks))
+    e.attach_streams(build_streams(edges, n_ranks))
+    e.run()
+    assert verify_cc(e, "cc") == []
+
+
+@given(edges=edge_list, n_ranks=rank_count, data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_sssp_converges_with_random_pair_weights(edges, n_ranks, data):
+    # One weight per undirected pair (monotonicity precondition).
+    pair_weights = {}
+    weights = []
+    for s, d in edges:
+        key = (min(s, d), max(s, d))
+        if key not in pair_weights:
+            pair_weights[key] = data.draw(st.integers(1, 9))
+        weights.append(pair_weights[key])
+    source = edges[0][0]
+    e = DynamicEngine([IncrementalSSSP()], EngineConfig(n_ranks=n_ranks))
+    e.init_program("sssp", source)
+    e.attach_streams(build_streams(edges, n_ranks, weights))
+    e.run()
+    assert verify_sssp(e, "sssp", source) == []
+
+
+@given(edges=edge_list)
+@settings(max_examples=40, deadline=None)
+def test_bfs_vertex_values_monotonically_decrease(edges):
+    source = edges[0][0]
+    e = DynamicEngine([IncrementalBFS()], EngineConfig(n_ranks=3))
+    history: dict[int, list[int]] = {}
+    e.add_trigger(
+        "bfs",
+        lambda v, val: True,
+        lambda v, val, t: history.setdefault(v, []).append(val),
+        once=False,
+    )
+    e.init_program("bfs", source)
+    e.attach_streams(build_streams(edges, 3))
+    e.run()
+    for v, values in history.items():
+        # First write is the INF (or level-1) initialisation; afterwards
+        # values may only decrease — the MOnotone in REMO.
+        for a, b in zip(values, values[1:]):
+            assert b <= a, f"vertex {v} value increased: {values}"
+
+
+@given(edges=edge_list)
+@settings(max_examples=40, deadline=None)
+def test_cc_vertex_labels_monotonically_increase(edges):
+    e = DynamicEngine([IncrementalCC()], EngineConfig(n_ranks=3))
+    history: dict[int, list[int]] = {}
+    e.add_trigger(
+        "cc",
+        lambda v, val: True,
+        lambda v, val, t: history.setdefault(v, []).append(val),
+        once=False,
+    )
+    e.attach_streams(build_streams(edges, 3))
+    e.run()
+    for v, values in history.items():
+        for a, b in zip(values, values[1:]):
+            assert b >= a, f"vertex {v} label decreased: {values}"
+
+
+@given(edges=edge_list, split_a=rank_count, split_b=rank_count)
+@settings(max_examples=30, deadline=None)
+def test_answer_independent_of_stream_split(edges, split_a, split_b):
+    source = edges[0][0]
+    states = []
+    for n in (split_a, split_b):
+        e = DynamicEngine([IncrementalBFS()], EngineConfig(n_ranks=n))
+        e.init_program("bfs", source)
+        e.attach_streams(build_streams(edges, n))
+        e.run()
+        states.append(e.state("bfs"))
+    finite_a = {v: x for v, x in states[0].items() if 0 < x < INF}
+    finite_b = {v: x for v, x in states[1].items() if 0 < x < INF}
+    assert finite_a == finite_b

@@ -1,0 +1,86 @@
+"""Property-based (hypothesis) tests for RobinHoodMap.
+
+A stateful model-based test drives the map against a Python dict oracle
+through arbitrary interleavings of put/get/delete, checking results and
+the Robin Hood layout invariants at every step boundary.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.storage.robin_hood import RobinHoodMap
+
+keys = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+values = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+small_keys = st.integers(min_value=0, max_value=40)  # force collisions/clusters
+
+
+class RobinHoodModel(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.map = RobinHoodMap(initial_capacity=8, max_load_factor=0.85)
+        self.model: dict[int, int] = {}
+
+    @rule(k=small_keys, v=values)
+    def put(self, k, v):
+        was_new = self.map.put(k, v)
+        assert was_new == (k not in self.model)
+        self.model[k] = v
+
+    @rule(k=small_keys)
+    def get(self, k):
+        assert self.map.get(k) == self.model.get(k)
+
+    @rule(k=small_keys)
+    def delete(self, k):
+        removed = self.map.delete(k)
+        assert removed == (k in self.model)
+        self.model.pop(k, None)
+
+    @rule(k=keys, v=values)
+    def put_wide(self, k, v):
+        self.map.put(k, v)
+        self.model[k] = v
+
+    @invariant()
+    def sizes_match(self):
+        assert len(self.map) == len(self.model)
+
+    @invariant()
+    def layout_invariants_hold(self):
+        self.map.check_invariants()
+
+
+TestRobinHoodModel = RobinHoodModel.TestCase
+TestRobinHoodModel.settings = settings(max_examples=25, stateful_step_count=40)
+
+
+@given(st.lists(st.tuples(keys, values), max_size=300))
+@settings(max_examples=50)
+def test_bulk_insert_matches_dict(pairs):
+    m = RobinHoodMap()
+    ref = {}
+    for k, v in pairs:
+        m.put(k, v)
+        ref[k] = v
+    assert dict(m.items()) == ref
+    m.check_invariants()
+
+
+@given(st.sets(keys, max_size=200), st.data())
+@settings(max_examples=50)
+def test_delete_half_keeps_rest(keyset, data):
+    m = RobinHoodMap()
+    for k in keyset:
+        m.put(k, k ^ 0x55)
+    to_delete = data.draw(st.sets(st.sampled_from(sorted(keyset)), max_size=len(keyset))
+                          if keyset else st.just(set()))
+    for k in to_delete:
+        assert m.delete(k)
+    m.check_invariants()
+    for k in keyset:
+        if k in to_delete:
+            assert k not in m
+        else:
+            assert m.get(k) == k ^ 0x55

@@ -1,0 +1,119 @@
+"""Tests for quiescent-state checkpointing (suspend / resume)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DynamicEngine,
+    EngineConfig,
+    IncrementalBFS,
+    IncrementalCC,
+    ListEventStream,
+    split_streams,
+)
+from repro.analytics import verify_bfs, verify_cc
+from repro.events.types import ADD
+from repro.generators import rmat_edges
+from repro.runtime.checkpoint import (
+    NotQuiescentError,
+    load_checkpoint,
+    save_checkpoint,
+)
+
+
+def build_engine(n_ranks=4):
+    return DynamicEngine(
+        [IncrementalBFS(), IncrementalCC()], EngineConfig(n_ranks=n_ranks)
+    )
+
+
+def run_workload(engine, seed=0):
+    rng = np.random.default_rng(seed)
+    src, dst = rmat_edges(8, edge_factor=4, rng=rng)
+    source = int(src[0])
+    engine.init_program("bfs", source)
+    engine.attach_streams(split_streams(src, dst, engine.config.n_ranks, rng=rng))
+    engine.run()
+    return source
+
+
+class TestRoundTrip:
+    def test_save_and_restore_preserve_everything(self, tmp_path):
+        original = build_engine()
+        source = run_workload(original)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(original, path)
+
+        restored = build_engine()
+        load_checkpoint(restored, path)
+        assert restored.num_edges == original.num_edges
+        assert restored.state("bfs") == original.state("bfs")
+        assert restored.state("cc") == original.state("cc")
+        assert verify_bfs(restored, "bfs", source) == []
+        assert verify_cc(restored, "cc") == []
+
+    def test_restored_engine_keeps_ingesting(self, tmp_path):
+        original = build_engine()
+        source = run_workload(original)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(original, path)
+
+        restored = build_engine()
+        load_checkpoint(restored, path)
+        # new edges extend the old state seamlessly
+        far_a, far_b = 999_001, 999_002
+        restored.attach_streams(
+            [ListEventStream([(ADD, source, far_a, 1), (ADD, far_a, far_b, 1)])]
+        )
+        restored.run()
+        assert restored.value_of("bfs", far_b) == 3
+        assert verify_bfs(restored, "bfs", source) == []
+
+    def test_restore_into_different_rank_count(self, tmp_path):
+        original = build_engine(n_ranks=4)
+        source = run_workload(original)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(original, path)
+        restored = build_engine(n_ranks=7)  # repartitioned on restore
+        load_checkpoint(restored, path)
+        assert restored.state("bfs") == original.state("bfs")
+        assert verify_bfs(restored, "bfs", source) == []
+
+
+class TestGuards:
+    def test_save_mid_flight_rejected(self, tmp_path):
+        e = build_engine()
+        rng = np.random.default_rng(1)
+        src, dst = rmat_edges(8, edge_factor=4, rng=rng)
+        e.init_program("bfs", int(src[0]))
+        e.attach_streams(split_streams(src, dst, 4, rng=rng))
+        e.run(max_actions=50)  # stop mid-flight
+        with pytest.raises(NotQuiescentError):
+            save_checkpoint(e, tmp_path / "x.npz")
+
+    def test_save_during_collection_rejected(self, tmp_path):
+        e = build_engine()
+        run_workload(e)
+        e.request_collection("bfs", at_time=e.loop.max_time() + 1.0)
+        # the alarm has not fired yet; fire it but stop before it finishes
+        e.run(max_actions=1)
+        if e.active_collection is not None:
+            with pytest.raises(NotQuiescentError):
+                save_checkpoint(e, tmp_path / "x.npz")
+
+    def test_restore_into_used_engine_rejected(self, tmp_path):
+        original = build_engine()
+        run_workload(original)
+        save_checkpoint(original, tmp_path / "c.npz")
+        dirty = build_engine()
+        run_workload(dirty, seed=5)
+        with pytest.raises(RuntimeError, match="fresh engine"):
+            load_checkpoint(dirty, tmp_path / "c.npz")
+
+    def test_restore_program_mismatch_rejected(self, tmp_path):
+        original = build_engine()
+        run_workload(original)
+        save_checkpoint(original, tmp_path / "c.npz")
+        other = DynamicEngine([IncrementalCC()], EngineConfig(n_ranks=4))
+        with pytest.raises(ValueError, match="program mismatch"):
+            load_checkpoint(other, tmp_path / "c.npz")

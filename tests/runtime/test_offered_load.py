@@ -1,0 +1,113 @@
+"""Tests for paced (offered-load) ingestion and vertex removal."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DynamicEngine,
+    EngineConfig,
+    IncrementalBFS,
+    IncrementalCC,
+    INF,
+    ListEventStream,
+)
+from repro.analytics import verify_bfs, verify_cc
+from repro.events.types import ADD, DELETE
+from repro.generators import erdos_renyi_edges
+
+
+class TestInjectTimedEvents:
+    def test_events_apply_at_their_times(self):
+        e = DynamicEngine([IncrementalBFS()], EngineConfig(n_ranks=2))
+        e.init_program("bfs", 0)
+        n = e.inject_timed_events(
+            [(1e-3, ADD, 0, 1, 1), (2e-3, ADD, 1, 2, 1)]
+        )
+        assert n == 2
+        e.run(max_virtual_time=1.5e-3)
+        assert e.value_of("bfs", 1) == 2
+        assert e.value_of("bfs", 2) == 0  # second event not yet arrived
+        e.run()
+        assert e.value_of("bfs", 2) == 3
+
+    def test_converges_same_as_pulled(self):
+        rng = np.random.default_rng(0)
+        src, dst = erdos_renyi_edges(40, 150, rng=rng)
+        timed = DynamicEngine([IncrementalCC()], EngineConfig(n_ranks=4))
+        timed.inject_timed_events(
+            (i * 1e-6, ADD, int(s), int(d), 1) for i, (s, d) in enumerate(zip(src, dst))
+        )
+        timed.run()
+        assert verify_cc(timed, "cc") == []
+
+    def test_low_offered_load_is_real_time(self):
+        """§V-A's claim: offered load below the max is absorbed as it
+        arrives — the makespan tracks the arrival span, and per-event
+        latency stays flat (no queueing backlog)."""
+        rng = np.random.default_rng(1)
+        src, dst = erdos_renyi_edges(60, 400, rng=rng)
+        spacing = 10e-6  # far slower than saturation throughput
+        e = DynamicEngine([IncrementalBFS()], EngineConfig(n_ranks=4))
+        e.init_program("bfs", int(src[0]))
+        e.inject_timed_events(
+            (i * spacing, ADD, int(s), int(d), 1)
+            for i, (s, d) in enumerate(zip(src, dst))
+        )
+        e.run()
+        arrival_span = (len(src) - 1) * spacing
+        # the run ends within a small tail after the last arrival
+        assert e.loop.max_time() < arrival_span + 50e-6
+        # and nobody was saturated
+        assert all(c.busy_time < 0.5 * e.loop.max_time() for c in e.counters)
+
+    def test_deletes_injectable(self):
+        e = DynamicEngine([IncrementalCC()], EngineConfig(n_ranks=2))
+        e.inject_timed_events(
+            [
+                (1e-6, ADD, 0, 1, 1),
+                (2e-6, ADD, 1, 2, 1),
+                (3e-6, DELETE, 0, 1, 0),
+            ]
+        )
+        e.run()
+        assert not e.has_edge(0, 1)
+        assert e.has_edge(1, 2)
+
+    def test_canonical_routing_applies(self):
+        e = DynamicEngine([], EngineConfig(n_ranks=4))
+        e.inject_timed_events(
+            [(1e-6, ADD, 9, 2, 1), (2e-6, ADD, 2, 9, 1), (3e-6, DELETE, 9, 2, 0)]
+        )
+        e.run()
+        assert e.has_edge(2, 9) == e.has_edge(9, 2) == False  # noqa: E712
+
+
+class TestVertexRemoval:
+    def test_removal_events_cover_adjacency(self):
+        e = DynamicEngine([IncrementalCC()], EngineConfig(n_ranks=3))
+        e.attach_streams(
+            [ListEventStream([(ADD, 5, 1, 1), (ADD, 5, 2, 1), (ADD, 1, 2, 1)])]
+        )
+        e.run()
+        events = e.vertex_removal_events(5)
+        assert sorted(d for _, _s, d, _ in events) == [1, 2]
+        assert all(k == DELETE for k, *_ in events)
+
+    def test_removal_isolates_vertex(self):
+        from repro import GenerationalCC
+
+        e = DynamicEngine([GenerationalCC()], EngineConfig(n_ranks=3))
+        e.attach_streams(
+            [ListEventStream([(ADD, 5, 1, 1), (ADD, 5, 2, 1), (ADD, 1, 2, 1)])]
+        )
+        e.run()
+        e.attach_streams([ListEventStream(e.vertex_removal_events(5))])
+        e.run()
+        rank = e.partitioner.owner(5)
+        assert e.stores[rank].degree(5) == 0
+        # 1 and 2 remain connected to each other but not to 5
+        assert verify_cc(e, "gen-cc", value_of=lambda v: v[1]) == []
+
+    def test_removal_of_unknown_vertex_is_empty(self):
+        e = DynamicEngine([], EngineConfig(n_ranks=2))
+        assert e.vertex_removal_events(123) == []

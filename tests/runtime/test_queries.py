@@ -1,0 +1,159 @@
+"""Tests for local-state "When" queries (triggers)."""
+
+import pytest
+
+from repro import (
+    DegreeTracker,
+    DynamicEngine,
+    EngineConfig,
+    IncrementalBFS,
+    ListEventStream,
+    MultiSTConnectivity,
+)
+from repro.events.types import ADD
+from repro.runtime.queries import TriggerManager
+
+
+class TestTriggerManagerUnit:
+    def test_fires_on_predicate(self):
+        tm = TriggerManager()
+        fired = []
+        tm.add(0, lambda v, val: val > 5, lambda v, val, t: fired.append((v, val)))
+        tm.on_change(0, 1, 3, 0.0)
+        tm.on_change(0, 1, 7, 0.0)
+        assert fired == [(1, 7)]
+
+    def test_once_semantics_per_vertex(self):
+        tm = TriggerManager()
+        fired = []
+        tm.add(0, lambda v, val: True, lambda v, val, t: fired.append(v))
+        tm.on_change(0, 1, 1, 0.0)
+        tm.on_change(0, 1, 2, 0.0)
+        tm.on_change(0, 2, 1, 0.0)
+        assert fired == [1, 2]
+
+    def test_repeating_trigger(self):
+        tm = TriggerManager()
+        fired = []
+        tm.add(0, lambda v, val: True, lambda v, val, t: fired.append(val), once=False)
+        tm.on_change(0, 1, 1, 0.0)
+        tm.on_change(0, 1, 2, 0.0)
+        assert fired == [1, 2]
+
+    def test_vertex_scoped(self):
+        tm = TriggerManager()
+        fired = []
+        tm.add(0, lambda v, val: True, lambda v, val, t: fired.append(v), vertex=5)
+        tm.on_change(0, 4, 1, 0.0)
+        tm.on_change(0, 5, 1, 0.0)
+        assert fired == [5]
+
+    def test_program_scoped(self):
+        tm = TriggerManager()
+        fired = []
+        tm.add(1, lambda v, val: True, lambda v, val, t: fired.append(v))
+        tm.on_change(0, 1, 1, 0.0)
+        assert fired == []
+        tm.on_change(1, 1, 1, 0.0)
+        assert fired == [1]
+
+    def test_remove(self):
+        tm = TriggerManager()
+        fired = []
+        t = tm.add(0, lambda v, val: True, lambda v, val, time: fired.append(v))
+        assert tm.remove(t) is True
+        assert tm.remove(t) is False
+        tm.on_change(0, 1, 1, 0.0)
+        assert fired == []
+
+    def test_has_triggers(self):
+        tm = TriggerManager()
+        assert not tm.has_triggers(0)
+        tm.add(0, lambda v, val: True, lambda *a: None, vertex=3)
+        assert tm.has_triggers(0)
+        assert not tm.has_triggers(1)
+
+    def test_fired_count(self):
+        tm = TriggerManager()
+        tm.add(0, lambda v, val: True, lambda *a: None)
+        tm.on_change(0, 1, 1, 0.0)
+        tm.on_change(0, 2, 1, 0.0)
+        assert tm.fired_count == 2
+
+
+class TestEngineTriggers:
+    def test_degree_threshold_callback(self):
+        """The §II-A example: user callback when degree exceeds a bound."""
+        e = DynamicEngine([DegreeTracker()], EngineConfig(n_ranks=2))
+        alerts = []
+        e.add_trigger(
+            "degree",
+            lambda v, deg: deg >= 3,
+            lambda v, deg, t: alerts.append((v, deg)),
+        )
+        star = [(ADD, 0, i, 1) for i in range(1, 5)]
+        e.attach_streams([ListEventStream(star)])
+        e.run()
+        assert (0, 3) in alerts
+        assert len([a for a in alerts if a[0] == 0]) == 1  # fired once
+
+    def test_when_st_connected(self):
+        """'When is vertex A connected to vertex B?' — §III-E."""
+        st = MultiSTConnectivity()
+        e = DynamicEngine([st], EngineConfig(n_ranks=3))
+        bit = st.register_source(0)
+        e.init_program("st", 0, payload=bit)
+        hits = []
+        e.add_trigger(
+            "st",
+            lambda v, mask: bool(mask >> bit & 1),
+            lambda v, mask, t: hits.append((v, t)),
+            vertex=4,
+        )
+        # 0-1-2-3-4 path: vertex 4 connects to 0 only at the last edge.
+        e.attach_streams([ListEventStream([(ADD, i, i + 1, 1) for i in range(4)])])
+        e.run()
+        assert len(hits) == 1
+        vertex, time = hits[0]
+        assert vertex == 4
+        assert 0 < time <= e.loop.max_time()
+
+    def test_trigger_time_monotone_along_path(self):
+        st = MultiSTConnectivity()
+        e = DynamicEngine([st], EngineConfig(n_ranks=2))
+        bit = st.register_source(0)
+        e.init_program("st", 0, payload=bit)
+        times = {}
+        e.add_trigger(
+            "st",
+            lambda v, mask: bool(mask >> bit & 1),
+            lambda v, mask, t: times.setdefault(v, t),
+        )
+        e.attach_streams([ListEventStream([(ADD, i, i + 1, 1) for i in range(5)])])
+        e.run()
+        # Connectivity flows outward: each hop is observed no earlier
+        # than the previous one.
+        assert times[1] <= times[2] <= times[3] <= times[4] <= times[5]
+
+    def test_bfs_proximity_trigger(self):
+        """Fig. 3 discussion: trigger when a vertex's path to the source
+        becomes shorter than a bound."""
+        e = DynamicEngine([IncrementalBFS()], EngineConfig(n_ranks=2))
+        e.init_program("bfs", 0)
+        hits = []
+        e.add_trigger(
+            "bfs",
+            lambda v, lvl: 0 < lvl <= 3,
+            lambda v, lvl, t: hits.append(v),
+        )
+        events = [(ADD, i, i + 1, 1) for i in range(6)]
+        events.append((ADD, 0, 5, 1))  # shortcut: 5 jumps from level 6 to 2
+        e.attach_streams([ListEventStream(events)])
+        e.run()
+        assert set(hits) >= {0, 1, 2, 5, 6}
+        assert hits.count(5) == 1  # once, despite improving twice
+
+    def test_trigger_on_unknown_program_rejected(self):
+        e = DynamicEngine([IncrementalBFS()])
+        with pytest.raises(ValueError):
+            e.add_trigger("nope", lambda v, x: True, lambda *a: None)

@@ -1,0 +1,142 @@
+"""Static baselines cross-checked against networkx and hand cases."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.algorithms.cc import component_label
+from repro.generators import erdos_renyi_edges, rmat_edges
+from repro.generators.weights import pairwise_weights
+from repro.staticalgs import (
+    static_bfs,
+    static_cc,
+    static_sssp,
+    static_st_connectivity,
+)
+from repro.storage.csr import CSRGraph
+
+
+def random_graph(seed, n=60, m=300, weighted=False):
+    rng = np.random.default_rng(seed)
+    src, dst = erdos_renyi_edges(n, m, rng=rng)
+    w = pairwise_weights(src, dst, 1, 9) if weighted else None
+    g = CSRGraph.from_edges(src, dst, w, symmetrize=True)
+    nxg = nx.Graph()
+    for i in range(len(src)):
+        nxg.add_edge(int(src[i]), int(dst[i]), weight=int(w[i]) if weighted else 1)
+    return g, nxg
+
+
+class TestStaticBFS:
+    def test_path_levels(self):
+        g = CSRGraph.from_edges(np.array([0, 1, 2]), np.array([1, 2, 3]), symmetrize=True)
+        levels, ops = static_bfs(g, 0)
+        assert levels == {0: 1, 1: 2, 2: 3, 3: 4}
+        assert ops.vertex_visits == 4
+        assert ops.edge_scans == 6
+
+    def test_unreachable_absent(self):
+        g = CSRGraph.from_edges(np.array([0, 5]), np.array([1, 6]), symmetrize=True)
+        levels, _ = static_bfs(g, 0)
+        assert 5 not in levels and 6 not in levels
+
+    def test_source_not_in_graph(self):
+        g = CSRGraph.from_edges(np.array([0]), np.array([1]))
+        levels, _ = static_bfs(g, 99)
+        assert levels == {99: 1}
+
+    def test_matches_networkx(self):
+        g, nxg = random_graph(1)
+        levels, _ = static_bfs(g, 0)
+        nx_levels = nx.single_source_shortest_path_length(nxg, 0)
+        assert levels == {v: d + 1 for v, d in nx_levels.items()}
+
+
+class TestStaticSSSP:
+    def test_weighted_path(self):
+        g = CSRGraph.from_edges(
+            np.array([0, 1]), np.array([1, 2]), np.array([5, 3]), symmetrize=True
+        )
+        dist, _ = static_sssp(g, 0)
+        assert dist == {0: 1, 1: 6, 2: 9}
+
+    def test_matches_networkx_dijkstra(self):
+        g, nxg = random_graph(2, weighted=True)
+        dist, _ = static_sssp(g, 0)
+        nx_dist = nx.single_source_dijkstra_path_length(nxg, 0)
+        assert dist == {v: d + 1 for v, d in nx_dist.items()}
+
+    def test_ops_counted(self):
+        g, _ = random_graph(3)
+        _, ops = static_sssp(g, 0)
+        assert ops.vertex_visits > 0
+        assert ops.edge_scans >= ops.vertex_visits
+
+
+class TestStaticCC:
+    def test_labels_are_component_max_hash(self):
+        g = CSRGraph.from_edges(
+            np.array([0, 5]), np.array([1, 6]), symmetrize=True
+        )
+        labels, _ = static_cc(g)
+        assert labels[0] == labels[1] == max(component_label(0), component_label(1))
+        assert labels[5] == labels[6] == max(component_label(5), component_label(6))
+        assert labels[0] != labels[5]
+
+    def test_matches_networkx_components(self):
+        g, nxg = random_graph(4, n=80, m=90)  # sparse -> many components
+        labels, _ = static_cc(g)
+        for comp in nx.connected_components(nxg):
+            comp_labels = {labels[v] for v in comp}
+            assert len(comp_labels) == 1
+            assert comp_labels.pop() == max(component_label(v) for v in comp)
+
+    def test_empty_graph(self):
+        g = CSRGraph.from_edges(np.array([], dtype=np.int64), np.array([], dtype=np.int64))
+        labels, _ = static_cc(g)
+        assert labels == {}
+
+
+class TestStaticST:
+    def test_masks_per_source(self):
+        g = CSRGraph.from_edges(
+            np.array([0, 5]), np.array([1, 6]), symmetrize=True
+        )
+        masks, _ = static_st_connectivity(g, [0, 5])
+        assert masks[0] == 0b01 and masks[1] == 0b01
+        assert masks[5] == 0b10 and masks[6] == 0b10
+
+    def test_overlapping_reachability(self):
+        g = CSRGraph.from_edges(np.array([0, 1]), np.array([1, 2]), symmetrize=True)
+        masks, _ = static_st_connectivity(g, [0, 2])
+        assert masks[1] == 0b11
+
+    def test_source_reaches_itself_even_if_absent(self):
+        g = CSRGraph.from_edges(np.array([0]), np.array([1]))
+        masks, _ = static_st_connectivity(g, [42])
+        assert masks[42] == 0b1
+
+    def test_matches_networkx_reachability(self):
+        g, nxg = random_graph(5, n=50, m=60)
+        sources = [0, 1, 2]
+        masks, _ = static_st_connectivity(g, sources)
+        for bit, s in enumerate(sources):
+            reachable = nx.node_connected_component(nxg, s) if s in nxg else {s}
+            for v in nxg.nodes:
+                expect = v in reachable
+                assert bool(masks.get(v, 0) >> bit & 1) == expect
+
+
+class TestDirectedVariants:
+    def test_bfs_respects_direction(self):
+        g = CSRGraph.from_edges(np.array([0, 1]), np.array([1, 2]))  # no symmetrize
+        levels, _ = static_bfs(g, 2)
+        assert levels == {2: 1}  # nothing reachable downstream
+
+    def test_rmat_bfs_sanity(self):
+        rng = np.random.default_rng(6)
+        src, dst = rmat_edges(8, edge_factor=4, rng=rng)
+        g = CSRGraph.from_edges(src, dst, symmetrize=True)
+        levels, ops = static_bfs(g, int(src[0]))
+        assert len(levels) > 1
+        assert max(levels.values()) < 30  # small world

@@ -1,0 +1,52 @@
+"""Directed-graph behaviour of the static baselines (vs networkx)."""
+
+import networkx as nx
+import numpy as np
+
+from repro.generators import erdos_renyi_edges
+from repro.generators.weights import pairwise_weights
+from repro.staticalgs import static_bfs, static_sssp, static_st_connectivity
+from repro.storage.csr import CSRGraph
+
+
+def directed_graph(seed, n=50, m=200, weighted=False):
+    rng = np.random.default_rng(seed)
+    src, dst = erdos_renyi_edges(n, m, rng=rng)
+    w = pairwise_weights(src, dst, 1, 9) if weighted else None
+    g = CSRGraph.from_edges(src, dst, w)  # NO symmetrize
+    nxg = nx.DiGraph()
+    for i in range(len(src)):
+        nxg.add_edge(int(src[i]), int(dst[i]), weight=int(w[i]) if weighted else 1)
+    return g, nxg
+
+
+class TestDirectedBFS:
+    def test_matches_networkx(self):
+        g, nxg = directed_graph(0)
+        levels, _ = static_bfs(g, 0)
+        expect = nx.single_source_shortest_path_length(nxg, 0)
+        assert levels == {v: d + 1 for v, d in expect.items()}
+
+    def test_sink_vertex_reaches_only_itself(self):
+        g = CSRGraph.from_edges(np.array([0, 1]), np.array([2, 2]))
+        levels, _ = static_bfs(g, 2)
+        assert levels == {2: 1}
+
+
+class TestDirectedSSSP:
+    def test_matches_networkx(self):
+        g, nxg = directed_graph(1, weighted=True)
+        dist, _ = static_sssp(g, 0)
+        expect = nx.single_source_dijkstra_path_length(nxg, 0)
+        assert dist == {v: d + 1 for v, d in expect.items()}
+
+
+class TestDirectedST:
+    def test_matches_networkx_descendants(self):
+        g, nxg = directed_graph(2)
+        sources = [0, 1]
+        masks, _ = static_st_connectivity(g, sources)
+        for bit, s in enumerate(sources):
+            reach = nx.descendants(nxg, s) | {s} if s in nxg else {s}
+            for v in nxg.nodes:
+                assert bool(masks.get(v, 0) >> bit & 1) == (v in reach)

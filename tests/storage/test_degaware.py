@@ -1,0 +1,143 @@
+"""Unit tests for the degree-aware dynamic adjacency store."""
+
+import numpy as np
+import pytest
+
+from repro.storage.degaware import DegAwareRHH
+
+
+@pytest.fixture(params=["robinhood", "dict"])
+def store(request):
+    return DegAwareRHH(promote_threshold=4, vertex_index=request.param)
+
+
+class TestVertices:
+    def test_ensure_vertex_new(self, store):
+        assert store.ensure_vertex(5) is True
+        assert store.ensure_vertex(5) is False
+        assert store.has_vertex(5)
+        assert store.num_vertices == 1
+
+    def test_vertices_iteration_order(self, store):
+        for v in (3, 1, 2):
+            store.ensure_vertex(v)
+        assert list(store.vertices()) == [3, 1, 2]
+
+    def test_unknown_vertex_queries(self, store):
+        assert store.degree(99) == 0
+        assert list(store.neighbors(99)) == []
+        assert store.edge_weight(99, 1) is None
+        assert not store.has_edge(99, 1)
+
+
+class TestEdges:
+    def test_insert_edge_new_and_duplicate(self, store):
+        assert store.insert_edge(1, 2, 5) is True
+        assert store.insert_edge(1, 2, 7) is False  # attribute update
+        assert store.edge_weight(1, 2) == 7
+        assert store.num_edges == 1
+        assert store.stats.duplicate_inserts == 1
+
+    def test_insert_registers_source_vertex(self, store):
+        store.insert_edge(10, 20)
+        assert store.has_vertex(10)
+        # Destination is NOT registered: it lives on another rank.
+        assert not store.has_vertex(20)
+
+    def test_degree_counts(self, store):
+        for dst in range(3):
+            store.insert_edge(0, dst)
+        assert store.degree(0) == 3
+
+    def test_neighbors_with_weights(self, store):
+        store.insert_edge(1, 2, 20)
+        store.insert_edge(1, 3, 30)
+        assert dict(store.neighbors(1)) == {2: 20, 3: 30}
+
+    def test_delete_edge(self, store):
+        store.insert_edge(1, 2)
+        assert store.delete_edge(1, 2) is True
+        assert store.delete_edge(1, 2) is False
+        assert store.num_edges == 0
+        assert not store.has_edge(1, 2)
+
+    def test_delete_from_missing_vertex(self, store):
+        assert store.delete_edge(42, 1) is False
+
+    def test_edges_iterates_all(self, store):
+        expected = set()
+        for s in range(3):
+            for d in range(3):
+                if s != d:
+                    store.insert_edge(s, d, s * 10 + d)
+                    expected.add((s, d, s * 10 + d))
+        assert set(store.edges()) == expected
+
+
+class TestPromotion:
+    def test_promotes_at_threshold(self, store):
+        for dst in range(3):
+            store.insert_edge(0, dst)
+        assert not store.is_promoted(0)
+        store.insert_edge(0, 99)  # 4th edge == threshold
+        assert store.is_promoted(0)
+        assert store.stats.promotions == 1
+
+    def test_promoted_adjacency_preserved(self, store):
+        weights = {dst: dst * 3 + 1 for dst in range(10)}
+        for dst, w in weights.items():
+            store.insert_edge(7, dst, w)
+        assert store.is_promoted(7)
+        assert dict(store.neighbors(7)) == weights
+        assert store.degree(7) == 10
+
+    def test_promoted_delete_and_lookup(self, store):
+        for dst in range(10):
+            store.insert_edge(7, dst)
+        assert store.delete_edge(7, 4)
+        assert not store.has_edge(7, 4)
+        assert store.degree(7) == 9
+        # No demotion on shrink (promote-only, like DegAwareRHH).
+        assert store.is_promoted(7)
+
+    def test_duplicate_insert_does_not_trigger_promotion(self, store):
+        for _ in range(10):
+            store.insert_edge(0, 1)
+        assert not store.is_promoted(0)
+        assert store.degree(0) == 1
+
+
+class TestScaleAndStats:
+    def test_random_workload_matches_reference(self):
+        rng = np.random.default_rng(11)
+        store = DegAwareRHH(promote_threshold=6)
+        ref: dict[tuple[int, int], int] = {}
+        for _ in range(4000):
+            s, d = int(rng.integers(0, 40)), int(rng.integers(0, 200))
+            if rng.random() < 0.8:
+                w = int(rng.integers(1, 100))
+                store.insert_edge(s, d, w)
+                ref[(s, d)] = w
+            else:
+                assert store.delete_edge(s, d) == ((s, d) in ref)
+                ref.pop((s, d), None)
+        assert store.num_edges == len(ref)
+        assert {(s, d, w) for s, d, w in store.edges()} == {
+            (s, d, w) for (s, d), w in ref.items()
+        }
+
+    def test_stats_counters(self):
+        store = DegAwareRHH(promote_threshold=2)
+        store.insert_edge(1, 2)
+        store.insert_edge(1, 2)
+        store.insert_edge(1, 3)
+        store.delete_edge(1, 3)
+        assert store.stats.edge_inserts == 2
+        assert store.stats.duplicate_inserts == 1
+        assert store.stats.edge_deletes == 1
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            DegAwareRHH(promote_threshold=0)
+        with pytest.raises(ValueError):
+            DegAwareRHH(vertex_index="btree")
