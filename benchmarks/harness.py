@@ -17,9 +17,11 @@ Conventions (see EXPERIMENTS.md for the full methodology):
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
@@ -34,6 +36,7 @@ from repro.util.rng import SeedSequenceFactory
 BENCH_SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "0"))
 RANKS_PER_NODE = int(os.environ.get("REPRO_RANKS_PER_NODE", "4"))
 SEEDS = SeedSequenceFactory(0xB37C)  # stable bench root seed
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def cost_model() -> CostModel:
@@ -67,17 +70,19 @@ def run_dynamic(
     shuffle_seed: int | None = 0,
     collections: list[float] | None = None,
     undirected: bool = True,
+    config_overrides: dict | None = None,
 ) -> DynamicRun:
     """Ingest an edge list through the engine at saturation (§V-A).
 
     ``init`` is a list of (program, vertex, payload) triples injected at
     t=0; ``collections`` schedules versioned global-state collections at
-    the given virtual times.
+    the given virtual times; ``config_overrides`` sets extra
+    :class:`EngineConfig` fields (ablation toggles).
     """
     n_ranks = n_nodes * RANKS_PER_NODE
     engine = DynamicEngine(
         programs,
-        EngineConfig(n_ranks=n_ranks, undirected=undirected),
+        EngineConfig(n_ranks=n_ranks, undirected=undirected, **(config_overrides or {})),
         cost_model=cost_model(),
     )
     for prog, vertex, payload in init or []:
@@ -109,6 +114,19 @@ def static_algorithm_time(ops: OpCounts, n_nodes: int, on_dynamic: bool = False)
     return cost_model().static_traversal_time(
         ops.vertex_visits, ops.edge_scans, n_nodes * RANKS_PER_NODE, on_dynamic
     )
+
+
+# ----------------------------------------------------------------------
+# machine-readable results
+# ----------------------------------------------------------------------
+def report_json(name: str, payload: dict) -> Path:
+    """Persist a bench's results as ``BENCH_<name>.json`` at the repo
+    root — the machine-readable companion to the human tables that
+    :func:`conftest.report_table` writes under ``benchmarks/out/``.
+    Returns the written path."""
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 # ----------------------------------------------------------------------

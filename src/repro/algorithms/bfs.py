@@ -36,6 +36,9 @@ class IncrementalBFS(VertexProgram):
 
     name = "bfs"
     snapshot_mode = "merge"
+    # §II-D: two queued levels from the same sender squash to the better
+    # (smaller) one; 0 stays the "unset" identity.
+    combine = staticmethod(min_monotone_merge)
 
     def on_init(self, ctx: VertexContext, payload: Any) -> None:
         # Begin traversal from this vertex.

@@ -49,6 +49,9 @@ class IncrementalCC(VertexProgram):
 
     name = "cc"
     snapshot_mode = "merge"
+    # §II-D: queued labels from the same sender squash to the dominator
+    # (labels only grow; 0 loses to any real label).
+    combine = staticmethod(max_monotone_merge)
 
     def on_add(self, ctx: VertexContext, vis_id: int, vis_val: Any, weight: int) -> None:
         # If we are a new vertex, label us.

@@ -31,6 +31,9 @@ class IncrementalSSSP(VertexProgram):
 
     name = "sssp"
     snapshot_mode = "merge"
+    # §II-D: queued path costs from the same sender squash to the
+    # cheaper one; 0 stays the "unset" identity.
+    combine = staticmethod(min_monotone_merge)
 
     def on_init(self, ctx: VertexContext, payload: Any) -> None:
         ctx.set_value(1)

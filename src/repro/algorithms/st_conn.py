@@ -40,6 +40,9 @@ class MultiSTConnectivity(VertexProgram):
 
     name = "st"
     snapshot_mode = "merge"
+    # §II-D: queued reachability bitmaps from the same sender squash to
+    # their union (the set only ever grows).
+    combine = staticmethod(union_merge)
 
     def __init__(self) -> None:
         # Configuration (read-only during execution): source -> bit index.

@@ -41,6 +41,9 @@ class WidestPath(VertexProgram):
 
     name = "widest"
     snapshot_mode = "merge"
+    # §II-D: queued capacities from the same sender squash to the wider
+    # one (capacities only grow; 0 = "no path yet" loses to any).
+    combine = staticmethod(max)
 
     def on_init(self, ctx: VertexContext, payload: Any) -> None:
         ctx.set_value(CAP_INF)

@@ -27,6 +27,8 @@ class ThroughputReport:
     messages_remote: int
     control_messages: int
     busy_time_total: float
+    updates_squashed: int = 0  # UPDATEs coalesced in visitor queues (§II-D)
+    batch_sends: int = 0  # send_many fan-out batches emitted
     wall_seconds: float | None = None
 
     @property
@@ -46,6 +48,13 @@ class ThroughputReport:
         """Algorithm work amplification: callbacks per topology event."""
         return self.visits / self.source_events if self.source_events else 0.0
 
+    @property
+    def squash_fraction(self) -> float:
+        """Fraction of emitted data-lane messages that were coalesced
+        away in a visitor queue instead of being dispatched (§II-D)."""
+        emitted = self.messages_local + self.messages_remote + self.updates_squashed
+        return self.updates_squashed / emitted if emitted else 0.0
+
     def summary(self) -> str:
         lines = [
             f"ranks={self.n_ranks} events={self.source_events:,} "
@@ -55,6 +64,9 @@ class ThroughputReport:
             f"inserts={self.edge_inserts:,} deletes={self.edge_deletes:,}",
             f"  msgs local={self.messages_local:,} remote={self.messages_remote:,} "
             f"ctrl={self.control_messages:,} util={self.mean_utilisation:.1%}",
+            f"  coalescing: updates_squashed={self.updates_squashed:,} "
+            f"({self.squash_fraction:.1%} of emissions) "
+            f"batch_sends={self.batch_sends:,}",
         ]
         if self.wall_seconds is not None:
             lines.append(
@@ -77,5 +89,7 @@ def throughput_report(engine, wall_seconds: float | None = None) -> ThroughputRe
         messages_remote=total.messages_sent_remote,
         control_messages=total.control_messages,
         busy_time_total=total.busy_time,
+        updates_squashed=total.updates_squashed,
+        batch_sends=total.batch_sends,
         wall_seconds=wall_seconds,
     )

@@ -48,6 +48,17 @@ class CostModel:
     send_cpu: float = 0.15 * US  # enqueue one visitor message
     control_cpu: float = 0.30 * US  # handle one control message
 
+    # --- visitor-queue coalescing & batched dispatch (§II-D) ----------
+    # Squashing merges a monotone UPDATE into one already queued at the
+    # receiver (HavoqGT's combine-or-squash): no heap push, no later
+    # pop/dispatch — only the in-place payload merge is paid.
+    squash_cpu: float = 0.02 * US  # combine payloads in the visitor queue
+    # Bulk emission of one vertex's fan-out: the fixed part of a send
+    # (buffer acquisition, routing setup) is paid once per batch, with a
+    # cheap per-message increment for each visitor appended.
+    batch_send_base_cpu: float = 0.15 * US  # once per send_many batch
+    batch_send_per_msg_cpu: float = 0.05 * US  # per message in the batch
+
     # --- message latency (sender clock -> receiver availability) ------
     local_latency: float = 0.40 * US  # same node (shared memory)
     remote_latency: float = 1.50 * US  # cross node (interconnect)
@@ -101,6 +112,9 @@ class CostModel:
             "visit_discard_cpu",
             "send_cpu",
             "control_cpu",
+            "squash_cpu",
+            "batch_send_base_cpu",
+            "batch_send_per_msg_cpu",
             "local_latency",
             "remote_latency",
             "gather_per_vertex_cpu",
@@ -180,6 +194,8 @@ class RankCounters:
     messages_sent_remote: int = 0
     control_messages: int = 0
     busy_time: float = 0.0  # virtual seconds of CPU consumed
+    updates_squashed: int = 0  # UPDATEs combined into this rank's inbox (§II-D)
+    batch_sends: int = 0  # send_many fan-out batches emitted by this rank
 
     def merge(self, other: "RankCounters") -> "RankCounters":
         return RankCounters(
@@ -191,4 +207,6 @@ class RankCounters:
             messages_sent_remote=self.messages_sent_remote + other.messages_sent_remote,
             control_messages=self.control_messages + other.control_messages,
             busy_time=self.busy_time + other.busy_time,
+            updates_squashed=self.updates_squashed + other.updates_squashed,
+            batch_sends=self.batch_sends + other.batch_sends,
         )

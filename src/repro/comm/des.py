@@ -23,6 +23,25 @@ time is ``max(departure + latency, previous arrival on the channel)``.
 This is the property §III-C relies on to serialise undirected edge
 creation, and §IV relies on to order same-vertex events.
 
+Coalescing
+----------
+§II-D observes that monotone UPDATE events "can be combined or
+squashed" in the visitor queue, which HavoqGT's middleware exploits.
+The kernel supports this mechanically and policy-free: a send may carry
+a ``coalesce_key`` plus a ``combiner``; when the receiver's data inbox
+already holds a pending, not-yet-dispatched message under the same key,
+the new payload is merged into the queued message in place (keeping the
+earlier arrival time, so no entry ever moves later or earlier in the
+heap and FIFO/causality of the conservative schedule is untouched) and
+the send reports "squashed" instead of enqueuing a second tuple.  What
+keys mean and how payloads merge is the handler's policy (the engine
+keys on ``(prog, target, sender, version)`` and merges via the
+program's monotone combine hook).
+
+``send_many`` is the batched fan-out companion: one call emits a
+vertex's whole neighbour fan-out, charging the fixed send cost once per
+batch plus a cheap per-message increment.
+
 Handlers
 --------
 The kernel is policy-free; behaviour lives in a :class:`RankHandler`
@@ -40,6 +59,23 @@ from repro.comm.costmodel import CostModel
 from repro.util.validate import check_positive
 
 _INF = float("inf")
+
+
+class _PendingCoalescible:
+    """A queued data message open for in-place payload combining.
+
+    The heap entry references this holder instead of the raw message; a
+    later same-key send rewrites ``msg`` without touching the heap, so
+    no entry ever moves and the conservative schedule is unchanged.
+    The window closes when the receiver dequeues the message — exactly
+    the lifetime of an arrived-but-unprocessed visitor in a real queue.
+    """
+
+    __slots__ = ("msg", "key")
+
+    def __init__(self, msg: Any, key: Any):
+        self.msg = msg
+        self.key = key
 
 
 class RankHandler:
@@ -75,6 +111,11 @@ class DiscreteEventLoop:
             [] for _ in range(self.n_ranks)
         ]
         self._channel_last: dict[tuple[int, int, bool], float] = {}
+        # Per-receiver index of coalescible pending data messages:
+        # coalesce_key -> the live _PendingCoalescible holder.
+        self._coalesce: list[dict[Any, _PendingCoalescible]] = [
+            {} for _ in range(self.n_ranks)
+        ]
         self._actions: list[tuple[float, int, int]] = []  # (time, seq, rank)
         self._alarms: list[tuple[float, int, Callable[[], None]]] = []
         self._scheduled: list[float | None] = [None] * self.n_ranks
@@ -82,6 +123,8 @@ class DiscreteEventLoop:
         self._source_active = [True] * self.n_ranks
         self.in_flight = 0  # messages sent but not yet handled
         self.messages_delivered = 0
+        self.messages_squashed = 0  # sends combined into a queued message
+        self.batch_sends = 0  # send_many invocations
         self.actions_executed = 0
         self.stall_time = 0.0  # total backpressure stalls (virtual s)
         self._acting_rank: int | None = None
@@ -126,8 +169,14 @@ class DiscreteEventLoop:
             heapq.heappush(self._actions, (t, self._next_seq(), rank))
 
     def send(
-        self, src_rank: int, dst_rank: int, msg: Any, priority: bool = False
-    ) -> None:
+        self,
+        src_rank: int,
+        dst_rank: int,
+        msg: Any,
+        priority: bool = False,
+        coalesce_key: Any = None,
+        combiner: Callable[[Any, Any], Any] | None = None,
+    ) -> bool:
         """Send ``msg`` from the acting rank ``src_rank`` to ``dst_rank``.
 
         Charges ``send_cpu`` to the sender and delivers after the
@@ -137,29 +186,103 @@ class DiscreteEventLoop:
         other control messages on the same channel, and serviced by the
         receiver ahead of any queued data backlog.
 
+        When ``coalesce_key`` is not None (data lane only) and the
+        receiver already queues a pending, not-yet-dispatched message
+        under the same key, ``combiner(old_msg, new_msg)`` replaces
+        that message's payload in place — no second tuple is enqueued, only
+        ``squash_cpu`` is charged, and the call returns True.  The
+        caller is then responsible for any sent/received accounting the
+        squashed message still owes (the engine books it to the
+        four-counter detector at squash time).
+
         Flow control: sending into a receiver whose data backlog exceeds
         ``cost.channel_capacity`` stalls the sender (its clock advances)
         proportionally to the excess — the DES analogue of a blocking
         MPI send into full buffers.  Control-lane sends are exempt.
+
+        Returns True iff the message was squashed into a queued one.
         """
+        if coalesce_key is not None and self._try_squash(
+            src_rank, dst_rank, msg, coalesce_key, combiner
+        ):
+            return True
         self.consume(src_rank, self.cost.send_cpu)
         if not priority and src_rank != dst_rank:
-            excess = len(self._inbox[dst_rank]) - self.cost.channel_capacity
-            if excess > 0:
-                # Blocking-send semantics: wait until the receiver will
-                # have drained back to capacity.  The horizon is the
-                # receiver's clock plus its excess backlog at its
-                # per-message service rate; advancing to a horizon is
-                # idempotent, so a stalled sender is not charged again
-                # for the same backlog.
-                horizon = (
-                    self.clock[dst_rank]
-                    + excess * self.cost.backpressure_stall_cpu
-                )
-                if horizon > self.clock[src_rank]:
-                    self.stall_time += horizon - self.clock[src_rank]
-                    self.clock[src_rank] = horizon
-        self._deliver(self.clock[src_rank], src_rank, dst_rank, msg, priority)
+            self._backpressure(src_rank, dst_rank)
+        self._deliver(
+            self.clock[src_rank], src_rank, dst_rank, msg, priority, coalesce_key
+        )
+        return False
+
+    def send_many(
+        self,
+        src_rank: int,
+        batch: list[tuple[int, Any, Any]],
+        combiner: Callable[[Any, Any], Any] | None = None,
+    ) -> list[bool]:
+        """Emit a fan-out batch of data-lane messages from ``src_rank``.
+
+        ``batch`` is a list of ``(dst_rank, msg, coalesce_key)`` triples
+        (``coalesce_key`` None disables combining for that message).
+        The fixed send overhead is charged once (``batch_send_base_cpu``)
+        with a ``batch_send_per_msg_cpu`` increment per delivered
+        message; squashed messages charge ``squash_cpu`` instead.
+
+        Returns one bool per message: True iff it was squashed.
+        """
+        self.batch_sends += 1
+        self.consume(src_rank, self.cost.batch_send_base_cpu)
+        per_msg = self.cost.batch_send_per_msg_cpu
+        squashed = []
+        for dst_rank, msg, key in batch:
+            if key is not None and self._try_squash(
+                src_rank, dst_rank, msg, key, combiner
+            ):
+                squashed.append(True)
+                continue
+            self.consume(src_rank, per_msg)
+            if src_rank != dst_rank:
+                self._backpressure(src_rank, dst_rank)
+            self._deliver(self.clock[src_rank], src_rank, dst_rank, msg, False, key)
+            squashed.append(False)
+        return squashed
+
+    def _try_squash(
+        self,
+        src_rank: int,
+        dst_rank: int,
+        msg: Any,
+        key: Any,
+        combiner: Callable[[Any, Any], Any] | None,
+    ) -> bool:
+        """Combine ``msg`` into a pending same-key message if one is
+        still queued (arrived or in flight, but not yet dispatched)."""
+        if combiner is None:
+            return False
+        entry = self._coalesce[dst_rank].get(key)
+        if entry is None:
+            return False
+        entry.msg = combiner(entry.msg, msg)
+        self.messages_squashed += 1
+        self.consume(src_rank, self.cost.squash_cpu)
+        return True
+
+    def _backpressure(self, src_rank: int, dst_rank: int) -> None:
+        excess = len(self._inbox[dst_rank]) - self.cost.channel_capacity
+        if excess > 0:
+            # Blocking-send semantics: wait until the receiver will
+            # have drained back to capacity.  The horizon is the
+            # receiver's clock plus its excess backlog at its
+            # per-message service rate; advancing to a horizon is
+            # idempotent, so a stalled sender is not charged again
+            # for the same backlog.
+            horizon = (
+                self.clock[dst_rank]
+                + excess * self.cost.backpressure_stall_cpu
+            )
+            if horizon > self.clock[src_rank]:
+                self.stall_time += horizon - self.clock[src_rank]
+                self.clock[src_rank] = horizon
 
     def send_at(
         self,
@@ -180,14 +303,25 @@ class DiscreteEventLoop:
         )
 
     def _deliver(
-        self, departure: float, src_rank: int, dst_rank: int, msg: Any, priority: bool
+        self,
+        departure: float,
+        src_rank: int,
+        dst_rank: int,
+        msg: Any,
+        priority: bool,
+        coalesce_key: Any = None,
     ) -> None:
         latency = self.cost.latency(src_rank, dst_rank)
         key = (src_rank, dst_rank, priority)
         arrival = max(departure + latency, self._channel_last.get(key, 0.0))
         self._channel_last[key] = arrival
         queue = self._inbox_prio[dst_rank] if priority else self._inbox[dst_rank]
-        heapq.heappush(queue, (arrival, self._next_seq(), msg))
+        if coalesce_key is not None and not priority:
+            entry = _PendingCoalescible(msg, coalesce_key)
+            self._coalesce[dst_rank][coalesce_key] = entry
+            heapq.heappush(queue, (arrival, self._next_seq(), entry))
+        else:
+            heapq.heappush(queue, (arrival, self._next_seq(), msg))
         self.in_flight += 1
         # A new arrival can move the receiver's next action earlier.
         cur = self._scheduled[dst_rank]
@@ -281,6 +415,14 @@ class DiscreteEventLoop:
         try:
             if inbox and inbox[0][0] <= now:
                 arrival, _, msg = heapq.heappop(inbox)
+                if type(msg) is _PendingCoalescible:
+                    # Retire the coalescing window: later same-key sends
+                    # must enqueue fresh (identity check — a newer entry
+                    # may already have replaced this key's slot).
+                    index = self._coalesce[rank]
+                    if index.get(msg.key) is msg:
+                        del index[msg.key]
+                    msg = msg.msg
                 self.clock[rank] = max(self.clock[rank], arrival)
                 self.in_flight -= 1
                 self.messages_delivered += 1

@@ -61,6 +61,12 @@ class EngineConfig:
     partition_salt: int = 0
     coordinator_rank: int = 0
     probe_backoff: float = 20e-6  # virtual pause between probe waves
+    # §II-D visitor-queue fast path: squash monotone UPDATEs into
+    # pending same-key messages (programs opt in via their ``combine``
+    # hook) and emit a vertex's fan-out as one send_many batch.  Both
+    # ON by default; the coalescing ablation bench turns them off.
+    coalesce_updates: bool = True
+    batch_updates: bool = True
 
     def __post_init__(self) -> None:
         check_positive("n_ranks", self.n_ranks)
@@ -125,6 +131,14 @@ class DynamicEngine(RankHandler):
         self._ctx = [
             [VertexContext(self, r, p) for p in range(len(programs))] for r in range(n)
         ]
+        # Per-program message-level UPDATE combiners (None = program
+        # opted out of §II-D coalescing, or it is globally disabled).
+        self._combiners: list[Callable[[tuple, tuple], tuple] | None] = [
+            self._make_update_combiner(p.combine)
+            if self.config.coalesce_updates and p.combine is not None
+            else None
+            for p in programs
+        ]
         self.counters = [RankCounters() for _ in range(n)]
         self.term = [FourCounterState() for _ in range(n)]
         self.triggers = TriggerManager()
@@ -137,6 +151,11 @@ class DynamicEngine(RankHandler):
         self._stream_done = [True] * n
         self.active_collection: ActiveCollection | None = None
         self._prev_vals: list[dict[int, Any]] = [dict() for _ in range(n)]
+        # Directed (vertex, nbr) adjacency entries inserted at or after
+        # the active collection's cut: prev-version emissions must not
+        # traverse them (the edge is absent from the discretized
+        # prefix, §III-D) — see _emit_version.
+        self._cut_new_edges: list[set[tuple[int, int]]] = [set() for _ in range(n)]
         self.collection_results: list[CollectionResult] = []
         # collection_id -> {rank: source events ingested at its cut}
         self.cut_positions: dict[int, dict[int, int]] = {}
@@ -431,6 +450,7 @@ class DynamicEngine(RankHandler):
             self.term[rank].record_receive(ver)
             self._proc_version[rank] = ver
             self._edge_was_new[rank] = self._apply_insert(rank, src, dst, weight)
+            self._note_cut_edge(rank, src, dst, ver)
             for p in range(len(self.programs)):
                 self._run_callback(rank, p, src, "on_add", dst, 0, weight)
             if self.config.undirected:
@@ -450,17 +470,21 @@ class DynamicEngine(RankHandler):
                 dst_owner = self.partitioner.owner(dst)
                 for p in range(len(self.programs)):
                     val = self._value_for_send(rank, p, src, ver)
+                    combiner = self._combiners[p]
                     self._send_visitor(
                         rank,
                         dst_owner,
                         (VT_UPDATE, p, dst, src, val, weight, ver),
                         ver,
+                        (p, dst, src, ver) if combiner is not None else None,
+                        combiner,
                     )
         elif vt == VT_RADD:
             _, dst, src, vals, weight, ver = msg
             self.term[rank].record_receive(ver)
             self._proc_version[rank] = ver
             self._edge_was_new[rank] = self._apply_insert(rank, dst, src, weight)
+            self._note_cut_edge(rank, dst, src, ver)
             for p in range(len(self.programs)):
                 cache = self._nbr_cache[rank][p]
                 if cache is not None:
@@ -643,16 +667,144 @@ class DynamicEngine(RankHandler):
     # ------------------------------------------------------------------
     # event emission
     # ------------------------------------------------------------------
+    @staticmethod
+    def _make_update_combiner(combine) -> Callable[[tuple, tuple], tuple]:
+        """Lift a program's payload-level ``combine`` to full UPDATE
+        tuples: ``(VT_UPDATE, prog, target, sender, value, weight, ver)``
+        — identity fields and the earlier arrival stay with the queued
+        message, payloads merge monotonically, the weight refreshes to
+        the newest (latest edge attribute)."""
+
+        def merge_msgs(old_msg: tuple, new_msg: tuple) -> tuple:
+            return (
+                old_msg[0],
+                old_msg[1],
+                old_msg[2],
+                old_msg[3],
+                combine(old_msg[4], new_msg[4]),
+                new_msg[5],
+                old_msg[6],
+            )
+
+        return merge_msgs
+
+    def _note_cut_edge(self, rank: int, src: int, dst: int, ver: int) -> None:
+        """Remember a ``(src, dst)`` adjacency entry inserted at or
+        after the active collection's cut — it is not part of the
+        discretized prefix the snapshot represents."""
+        col = self.active_collection
+        if col is not None and ver >= col.cut_version and self._edge_was_new[rank]:
+            self._cut_new_edges[rank].add((src, dst))
+
+    def _emit_version(self, rank: int, vertex: int, nbr: int, ver: int) -> int:
+        """Version label for an UPDATE from ``vertex`` over its edge to
+        ``nbr``.  A prev-version emission crossing an edge inserted
+        after the cut is relabelled to the cut version: the edge does
+        not exist in the discretized prefix (§III-D), so its value may
+        only enter S_new — the receiver splits and applies it to the
+        new view, never to the harvested S_prev.  (Suppressing the
+        message instead would lose it for the final state.)"""
+        col = self.active_collection
+        if (
+            col is not None
+            and ver < col.cut_version
+            and (vertex, nbr) in self._cut_new_edges[rank]
+        ):
+            return col.cut_version
+        return ver
+
     def _emit_update_all(self, rank: int, prog: int, vertex: int, value: Any) -> None:
         if self._suppress_sends[rank]:
             return
         self._cb_effect[rank] = True
         ver = self._proc_version[rank]
         owner = self.partitioner.owner
-        for nbr, weight in self.stores[rank].neighbors(vertex):
-            self._send_visitor(
-                rank, owner(nbr), (VT_UPDATE, prog, nbr, vertex, value, weight, ver), ver
-            )
+        combiner = self._combiners[prog]
+        col = self.active_collection
+        relabel = (
+            col is not None
+            and ver < col.cut_version
+            and bool(self._cut_new_edges[rank])
+        )
+        if not self.config.batch_updates:
+            for nbr, weight in self.stores[rank].neighbors(vertex):
+                mver = self._emit_version(rank, vertex, nbr, ver) if relabel else ver
+                self._send_visitor(
+                    rank,
+                    owner(nbr),
+                    (VT_UPDATE, prog, nbr, vertex, value, weight, mver),
+                    mver,
+                    (prog, nbr, vertex, mver) if combiner is not None else None,
+                    combiner,
+                )
+            return
+        # Batched fast path: one send_many per fan-out, built over the
+        # store's borrowed parallel adjacency lists (no pair tuples).
+        nbrs, weights = self.stores[rank].neighbors_arrays(vertex)
+        if not nbrs:
+            return
+        if relabel:
+            # Rare (prev-version fan-out while post-cut edges exist):
+            # partition by label so each batch stays homogeneous for
+            # the four-counter accounting.
+            prev_batch, cut_batch = [], []
+            for i, nbr in enumerate(nbrs):
+                mver = self._emit_version(rank, vertex, nbr, ver)
+                entry = (
+                    owner(nbr),
+                    (VT_UPDATE, prog, nbr, vertex, value, weights[i], mver),
+                    (prog, nbr, vertex, mver) if combiner is not None else None,
+                )
+                (prev_batch if mver == ver else cut_batch).append(entry)
+            if prev_batch:
+                self._dispatch_batch(rank, prev_batch, ver, combiner)
+            if cut_batch:
+                self._dispatch_batch(rank, cut_batch, col.cut_version, combiner)
+            return
+        if combiner is not None:
+            batch = [
+                (
+                    owner(nbr),
+                    (VT_UPDATE, prog, nbr, vertex, value, weights[i], ver),
+                    (prog, nbr, vertex, ver),
+                )
+                for i, nbr in enumerate(nbrs)
+            ]
+        else:
+            batch = [
+                (
+                    owner(nbr),
+                    (VT_UPDATE, prog, nbr, vertex, value, weights[i], ver),
+                    None,
+                )
+                for i, nbr in enumerate(nbrs)
+            ]
+        self._dispatch_batch(rank, batch, ver, combiner)
+
+    def _dispatch_batch(
+        self,
+        rank: int,
+        batch: list[tuple[int, tuple, Any]],
+        ver: int,
+        combiner: Callable[[tuple, tuple], tuple] | None,
+    ) -> None:
+        """Emit one fan-out batch, with per-message squash accounting."""
+        self.term[rank].record_send(ver, len(batch))
+        self.counters[rank].batch_sends += 1
+        squashed = self.loop.send_many(rank, batch, combiner)
+        node_of = self.cost.node_of
+        src_node = node_of(rank)
+        counters = self.counters[rank]
+        for (dst_rank, _msg, _key), was_squashed in zip(batch, squashed):
+            if was_squashed:
+                # Squashed = sent and received at squash time: the
+                # four-counter detector sees a balanced pair instantly.
+                self.term[dst_rank].record_receive(ver)
+                self.counters[dst_rank].updates_squashed += 1
+            elif node_of(dst_rank) == src_node:
+                counters.messages_sent_local += 1
+            else:
+                counters.messages_sent_remote += 1
 
     def _emit_update_one(
         self, rank: int, prog: int, vertex: int, nbr: int, value: Any, weight: int | None
@@ -665,21 +817,39 @@ class DynamicEngine(RankHandler):
             self._charge(rank, self.cost.storage_probe_cpu)
             if weight is None:
                 weight = 1  # edge raced away (delete); carry the default
-        ver = self._proc_version[rank]
+        ver = self._emit_version(rank, vertex, nbr, self._proc_version[rank])
+        combiner = self._combiners[prog]
         self._send_visitor(
             rank,
             self.partitioner.owner(nbr),
             (VT_UPDATE, prog, nbr, vertex, value, weight, ver),
             ver,
+            (prog, nbr, vertex, ver) if combiner is not None else None,
+            combiner,
         )
 
-    def _send_visitor(self, src_rank: int, dst_rank: int, msg: tuple, version: int) -> None:
+    def _send_visitor(
+        self,
+        src_rank: int,
+        dst_rank: int,
+        msg: tuple,
+        version: int,
+        coalesce_key: Any = None,
+        combiner: Callable[[tuple, tuple], tuple] | None = None,
+    ) -> None:
         self.term[src_rank].record_send(version)
+        if self.loop.send(
+            src_rank, dst_rank, msg, coalesce_key=coalesce_key, combiner=combiner
+        ):
+            # Squashed into a pending UPDATE: count it as received at
+            # squash time so four-counter termination stays balanced.
+            self.term[dst_rank].record_receive(version)
+            self.counters[dst_rank].updates_squashed += 1
+            return
         if self.cost.node_of(src_rank) == self.cost.node_of(dst_rank):
             self.counters[src_rank].messages_sent_local += 1
         else:
             self.counters[src_rank].messages_sent_remote += 1
-        self.loop.send(src_rank, dst_rank, msg)
 
     def _charge(self, rank: int, cpu: float) -> None:
         self.loop.consume(rank, cpu)
@@ -747,9 +917,10 @@ class DynamicEngine(RankHandler):
             part = {vid: prev.get(vid, val) for vid, val in vals.items()}
             self._charge(rank, self.cost.gather_per_vertex_cpu * len(part))
             self._prev_vals[rank] = {}
+            self._cut_new_edges[rank].clear()
             self.loop.send(
-            rank, coord, (VT_CTRL, CTRL_PART, col_id, rank, part), priority=True
-        )
+                rank, coord, (VT_CTRL, CTRL_PART, col_id, rank, part), priority=True
+            )
         elif subtype == CTRL_PART:
             _, _, col_id, src_rank, part = msg
             if col is None or col.collection_id != col_id:
@@ -757,15 +928,16 @@ class DynamicEngine(RankHandler):
             col.parts[src_rank] = part
             self._charge(rank, self.cost.gather_per_vertex_cpu * len(part))
             if col.all_parts_in(self.config.n_ranks):
+                merged = col.merged_state()
                 result = CollectionResult(
                     collection_id=col.collection_id,
                     prog=col.prog,
                     cut_version=col.cut_version,
                     requested_at=col.requested_at,
                     completed_at=self.loop.now(rank),
-                    state=col.merged_state(),
+                    state=merged,
                     probe_waves=col.detector.waves_run,
-                    vertices_collected=len(col.merged_state()),
+                    vertices_collected=len(merged),
                 )
                 self.collection_results.append(result)
                 self.active_collection = None

@@ -132,11 +132,23 @@ class VertexProgram:
       map (costs memory; only the decremental algorithms need it).
     * ``snapshot_mode`` — ``"merge"`` (REMO monotone state; requires
       :meth:`merge`) or ``"replay"`` (commutative-delta state).
+    * ``combine`` — optional visitor-queue coalescing hook (§II-D).
+      When set to a callable ``combine(old_val, new_val) -> merged``,
+      two pending UPDATE payloads from the same sender to the same
+      vertex may be squashed into one in the receiver's visitor queue;
+      the hook must be the program's monotone merge over *update
+      payloads* (min for BFS/SSSP, max for CC, bitwise-or for S-T),
+      treating 0 as the "unset" identity where the program does.
+      ``None`` (the default) disables coalescing for the program —
+      mandatory for programs whose update payloads are commands or
+      deltas rather than monotone values (degree counting, the
+      generational delete programs).
     """
 
     name = "vertex-program"
     needs_nbr_cache = False
     snapshot_mode = "merge"
+    combine: Callable[[Any, Any], Any] | None = None
 
     # -- lifecycle callbacks ---------------------------------------------
     def on_init(self, ctx: VertexContext, payload: Any) -> None:

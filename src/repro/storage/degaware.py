@@ -237,6 +237,30 @@ class DegAwareRHH:
             return adj.items()
         return iter(zip(list(adj.nbrs), list(adj.weights)))
 
+    def neighbors_arrays(self, src: int) -> tuple[list[int], list[int]]:
+        """``src``'s adjacency as parallel ``(nbrs, weights)`` lists.
+
+        The fast path for bulk fan-out emission: on the low-degree tier
+        the *internal* parallel lists are returned directly — no pair
+        tuples, no copies.  The lists are borrowed, read-only views:
+        callers must fully consume them before any store mutation (same
+        contract as :meth:`neighbors`' "mutating during iteration is
+        undefined").  Promoted vertices materialise fresh lists from the
+        hash table.
+        """
+        slot = self._slot_of(src)
+        if slot < 0:
+            return [], []
+        adj = self._adj[slot]
+        if isinstance(adj, RobinHoodMap):
+            nbrs: list[int] = []
+            weights: list[int] = []
+            for nbr, w in adj.items():
+                nbrs.append(nbr)
+                weights.append(w)
+            return nbrs, weights
+        return adj.nbrs, adj.weights
+
     def edges(self) -> Iterable[tuple[int, int, int]]:
         """Iterate all stored directed edges as ``(src, dst, weight)``."""
         for vid in self._vids:

@@ -1,0 +1,171 @@
+"""Kernel-level tests for visitor-queue coalescing and batched dispatch.
+
+§II-D: monotone data visitors queued for the same destination "can be
+combined or squashed".  The DES layer implements the mechanism —
+same-key pending messages merge in place, keeping the earlier arrival
+time — and these tests pin down its semantics independently of the
+engine: payload merging, FIFO/arrival preservation, per-key isolation,
+dispatch cut-off, cost accounting, and the ``send_many`` fast path.
+"""
+
+import pytest
+
+from repro.comm.costmodel import CostModel
+from repro.comm.des import DiscreteEventLoop, RankHandler
+
+CM = CostModel(ranks_per_node=2)
+
+
+class Recorder(RankHandler):
+    """Records every delivery as (rank, time, msg)."""
+
+    def __init__(self, cpu=0.0):
+        self.cpu = cpu
+        self.deliveries = []
+
+    def on_message(self, loop, rank, msg):
+        self.deliveries.append((rank, loop.now(rank), msg))
+        if self.cpu:
+            loop.consume(rank, self.cpu)
+
+
+def quiet_loop(n_ranks=2):
+    h = Recorder()
+    loop = DiscreteEventLoop(n_ranks, CM, h)
+    for r in range(n_ranks):
+        loop.set_source_active(r, False)
+    return loop, h
+
+
+class TestSquash:
+    def test_same_key_merges_into_one_delivery(self):
+        loop, h = quiet_loop()
+        assert loop.send(0, 1, 5, coalesce_key="k", combiner=max) is False
+        assert loop.send(0, 1, 3, coalesce_key="k", combiner=max) is True
+        loop.start()
+        loop.run()
+        [(rank, _, msg)] = h.deliveries
+        assert rank == 1 and msg == 5  # max(5, 3)
+        assert loop.messages_squashed == 1
+        assert loop.messages_delivered == 1
+
+    def test_combiner_sees_old_then_new(self):
+        loop, h = quiet_loop()
+        loop.send(0, 1, "a", coalesce_key="k", combiner=lambda old, new: old + new)
+        loop.send(0, 1, "b", coalesce_key="k", combiner=lambda old, new: old + new)
+        loop.send(0, 1, "c", coalesce_key="k", combiner=lambda old, new: old + new)
+        loop.start()
+        loop.run()
+        assert [m for _, _, m in h.deliveries] == ["abc"]
+        assert loop.messages_squashed == 2
+
+    def test_merged_message_keeps_earlier_arrival(self):
+        # The squashed send must not delay the pending message: it is
+        # delivered at the FIRST send's arrival time, preserving the
+        # conservative schedule.
+        loop, h = quiet_loop()
+        loop.send(0, 1, 1, coalesce_key="k", combiner=max)
+        first_arrival = CM.send_cpu + CM.local_latency
+        loop.send(0, 1, 2, coalesce_key="k", combiner=max)
+        loop.start()
+        loop.run()
+        [(_, t, msg)] = h.deliveries
+        assert msg == 2
+        assert t == pytest.approx(first_arrival)
+
+    def test_distinct_keys_do_not_merge(self):
+        loop, h = quiet_loop()
+        loop.send(0, 1, 1, coalesce_key="a", combiner=max)
+        loop.send(0, 1, 2, coalesce_key="b", combiner=max)
+        loop.start()
+        loop.run()
+        assert sorted(m for _, _, m in h.deliveries) == [1, 2]
+        assert loop.messages_squashed == 0
+
+    def test_no_combiner_means_no_squash(self):
+        loop, h = quiet_loop()
+        loop.send(0, 1, 1, coalesce_key="k", combiner=None)
+        assert loop.send(0, 1, 2, coalesce_key="k", combiner=None) is False
+        loop.start()
+        loop.run()
+        assert len(h.deliveries) == 2
+        assert loop.messages_squashed == 0
+
+    def test_dispatched_message_is_out_of_reach(self):
+        # Once the pending message is handed to the receiver it can no
+        # longer absorb later sends — those deliver normally.
+        loop, h = quiet_loop()
+        loop.send(0, 1, 1, coalesce_key="k", combiner=max)
+        loop.start()
+        loop.run()
+        assert loop.send(0, 1, 2, coalesce_key="k", combiner=max) is False
+        loop.run()
+        assert [m for _, _, m in h.deliveries] == [1, 2]
+        assert loop.messages_squashed == 0
+
+    def test_squash_accounting_reaches_quiescence(self):
+        loop, h = quiet_loop()
+        for v in range(5):
+            loop.send(0, 1, v, coalesce_key="k", combiner=max)
+        loop.start()
+        loop.run()
+        assert loop.quiescent()
+        assert loop.in_flight == 0
+        assert loop.messages_delivered == 1
+        assert loop.messages_squashed == 4
+
+    def test_squash_charges_squash_cpu_only(self):
+        loop, _ = quiet_loop()
+        loop.send(0, 1, 1, coalesce_key="k", combiner=max)
+        after_first = loop.clock[0]
+        assert after_first == pytest.approx(CM.send_cpu)
+        loop.send(0, 1, 2, coalesce_key="k", combiner=max)
+        assert loop.clock[0] == pytest.approx(after_first + CM.squash_cpu)
+
+
+class TestSendMany:
+    def test_batch_cost_base_plus_per_message(self):
+        loop, h = quiet_loop()
+        batch = [(1, v, ("k", v)) for v in range(5)]
+        squashed = loop.send_many(0, batch, combiner=max)
+        assert squashed == [False] * 5
+        assert loop.batch_sends == 1
+        assert loop.clock[0] == pytest.approx(
+            CM.batch_send_base_cpu + 5 * CM.batch_send_per_msg_cpu
+        )
+        loop.start()
+        loop.run()
+        assert sorted(m for _, _, m in h.deliveries) == list(range(5))
+
+    def test_batch_squashes_against_pending(self):
+        loop, h = quiet_loop()
+        batch = [(1, v, ("k", v)) for v in range(5)]
+        loop.send_many(0, batch, combiner=max)
+        t0 = loop.clock[0]
+        # Re-send higher payloads under the same keys: all squash.
+        again = [(1, v + 10, ("k", v)) for v in range(5)]
+        assert loop.send_many(0, again, combiner=max) == [True] * 5
+        assert loop.messages_squashed == 5
+        assert loop.clock[0] == pytest.approx(
+            t0 + CM.batch_send_base_cpu + 5 * CM.squash_cpu
+        )
+        loop.start()
+        loop.run()
+        assert sorted(m for _, _, m in h.deliveries) == [v + 10 for v in range(5)]
+
+    def test_none_key_in_batch_disables_coalescing(self):
+        loop, h = quiet_loop()
+        loop.send_many(0, [(1, 1, None), (1, 2, None)], combiner=max)
+        loop.start()
+        loop.run()
+        assert len(h.deliveries) == 2
+        assert loop.messages_squashed == 0
+
+    def test_batch_respects_channel_fifo(self):
+        loop, h = quiet_loop()
+        loop.send_many(0, [(1, v, None) for v in range(8)])
+        loop.start()
+        loop.run()
+        assert [m for _, _, m in h.deliveries] == list(range(8))
+        times = [t for _, t, _ in h.deliveries]
+        assert times == sorted(times)
