@@ -83,6 +83,31 @@ def test_micro_engine_cc(benchmark, rmat_workload):
     assert n > 0
 
 
+@pytest.mark.parametrize("vertex_index", ["robinhood", "dict"])
+def test_micro_degaware_slot_lookup(benchmark, vertex_index):
+    # Hot-path regression guard for DegAwareRHH._slot_of: the index
+    # strategy is bound once at construction (not string-compared per
+    # lookup), so vertex slot resolution is one attribute call.
+    from repro.storage.degaware import DegAwareRHH
+
+    rng = SEEDS.rng("micro-slot")
+    src = rng.integers(0, 4000, size=20_000)
+    dst = rng.integers(0, 4000, size=20_000)
+    store = DegAwareRHH(8, vertex_index)
+    for s, d in zip(src.tolist(), dst.tolist()):
+        store.insert_edge(s, d, 1)
+    probe = src.tolist()
+
+    def workload():
+        total = 0
+        for v in probe:
+            total += store.degree(v)
+        return total
+
+    total = benchmark(workload)
+    assert total > 0
+
+
 def test_micro_csr_build(benchmark, rmat_workload):
     src, dst = rmat_workload
     graph = benchmark(lambda: CSRGraph.from_edges(src, dst, symmetrize=True))

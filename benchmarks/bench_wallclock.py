@@ -1,0 +1,172 @@
+"""Wall-clock ingest throughput: bulk-ingest fast path vs per-event.
+
+Every other bench reports *virtual* (cost-model) time — the simulated
+cluster's behaviour.  This one reports what the bulk-ingest fast path
+actually buys: **simulator wall-clock** events/s while replaying a
+saturation stream, with ``bulk_ingest`` switched on and off.  The fast
+path drains streams in chunks and advances REMO state with array
+frontier kernels (``repro.kernels``), so its win is real seconds, not
+modelled ones.
+
+Per algorithm (construction-only, BFS, SSSP, CC): asserts the converged
+states are identical between the two paths (the exactness contract),
+that the bulk counters only move on the bulk run, and that CC — the
+paper's headline saturation workload — clears ``TARGET_SPEEDUP``x
+wall-clock throughput at the default scale.
+
+Emits machine-readable results to ``BENCH_wallclock.json``.
+"""
+
+import numpy as np
+
+from conftest import report_table
+from harness import (
+    BENCH_SCALE,
+    RANKS_PER_NODE,
+    fmt_rate,
+    fmt_table,
+    fmt_time,
+    report_json,
+    run_dynamic,
+)
+
+from repro import IncrementalBFS, IncrementalCC, IncrementalSSSP
+
+N_NODES = 2
+LOG2_EVENTS = 15 + BENCH_SCALE
+N_EVENTS = 1 << LOG2_EVENTS
+N_VERTICES = N_EVENTS // 4
+TARGET_SPEEDUP = 5.0  # CC wall-clock acceptance floor (default scale)
+SOURCE = 0
+
+
+def saturation_stream(seed: int = 42) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Uniform random edge events with edge-deterministic weights.
+
+    Weights are a pure function of the (undirected) endpoint pair so a
+    re-observed edge always carries the same weight — duplicate events
+    are attribute no-ops, keeping SSSP inside the REMO monotone regime
+    (weight *increases* would make even the per-event result
+    interleaving-dependent; see sssp.py).
+    """
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, N_VERTICES, N_EVENTS, dtype=np.int64)
+    dst = rng.integers(0, N_VERTICES, N_EVENTS, dtype=np.int64)
+    lo, hi = np.minimum(src, dst), np.maximum(src, dst)
+    weights = (lo * 31 + hi) % 7 + 1
+    return src, dst, weights
+
+
+CONFIGS = [
+    # (label, program factory, init list)
+    ("con", lambda: [], None),
+    ("bfs", lambda: [IncrementalBFS()], [("bfs", SOURCE, None)]),
+    ("sssp", lambda: [IncrementalSSSP()], [("sssp", SOURCE, None)]),
+    ("cc", lambda: [IncrementalCC()], None),
+]
+
+
+def _experiment():
+    src, dst, weights = saturation_stream()
+    results = {}
+    for label, make_programs, init in CONFIGS:
+        for bulk in (False, True):
+            results[(label, bulk)] = run_dynamic(
+                src,
+                dst,
+                make_programs(),
+                N_NODES,
+                weights=weights,
+                init=init,
+                config_overrides={"bulk_ingest": bulk},
+            )
+    return results
+
+
+def test_wallclock_bulk_ingest(benchmark):
+    results = benchmark.pedantic(_experiment, iterations=1, rounds=1)
+
+    rows = []
+    json_rows = []
+    speedups = {}
+    for label, make_programs, _init in CONFIGS:
+        off = results[(label, False)]
+        on = results[(label, True)]
+
+        # Exactness: identical topology and identical converged values.
+        assert on.engine.num_edges == off.engine.num_edges
+        for program in make_programs():
+            assert on.engine.state(program.name) == off.engine.state(program.name)
+        # The fast path actually engaged (and only on the bulk run).
+        assert on.report.bulk_events == on.report.source_events
+        assert on.report.bulk_chunks > 0
+        assert off.report.bulk_chunks == 0
+        assert off.report.bulk_events == 0
+
+        wall_rate_off = off.report.source_events / off.wall_seconds
+        wall_rate_on = on.report.source_events / on.wall_seconds
+        speedup = wall_rate_on / wall_rate_off
+        speedups[label] = speedup
+        for bulk, run, wall_rate in (
+            (False, off, wall_rate_off),
+            (True, on, wall_rate_on),
+        ):
+            rows.append(
+                [
+                    label,
+                    "on" if bulk else "off",
+                    fmt_time(run.wall_seconds),
+                    fmt_rate(wall_rate),
+                    fmt_rate(run.rate),
+                    f"{run.report.bulk_chunks:,}",
+                    f"{run.report.fallback_flushes:,}",
+                    f"{speedup:.1f}x" if bulk else "-",
+                ]
+            )
+            json_rows.append(
+                {
+                    "algorithm": label,
+                    "bulk_ingest": bulk,
+                    "wall_seconds": run.wall_seconds,
+                    "wall_events_per_second": wall_rate,
+                    "virtual_events_per_second": run.rate,
+                    "bulk_chunks": run.report.bulk_chunks,
+                    "bulk_events": run.report.bulk_events,
+                    "fallback_flushes": run.report.fallback_flushes,
+                    "speedup_vs_off": speedup if bulk else 1.0,
+                }
+            )
+
+    # The acceptance floor: CC saturation replay, wall-clock.
+    assert speedups["cc"] >= TARGET_SPEEDUP, (
+        f"bulk ingest CC wall-clock speedup {speedups['cc']:.2f}x "
+        f"below the {TARGET_SPEEDUP}x target"
+    )
+
+    table = fmt_table(
+        ["algo", "bulk", "wall", "wall rate", "virtual rate", "chunks",
+         "flushes", "speedup"],
+        rows,
+        title=(
+            f"Wall-clock ingest: bulk fast path vs per-event, "
+            f"{N_EVENTS:,} events / {N_VERTICES:,} vertices, "
+            f"{N_NODES * RANKS_PER_NODE} ranks"
+        ),
+    )
+    report_table("wallclock", table)
+    report_json(
+        "wallclock",
+        {
+            "bench": "wallclock",
+            "workload": {
+                "kind": "uniform_random",
+                "events": N_EVENTS,
+                "vertices": N_VERTICES,
+                "n_ranks": N_NODES * RANKS_PER_NODE,
+            },
+            "target_speedup": TARGET_SPEEDUP,
+            "cc_speedup": speedups["cc"],
+            "speedups": speedups,
+            "results": json_rows,
+        },
+    )

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.algorithms.base import INF, min_monotone_merge
+from repro.kernels.frontier import MinPlusKernel
 from repro.runtime.program import VertexContext, VertexProgram
 
 
@@ -39,6 +40,8 @@ class IncrementalBFS(VertexProgram):
     # §II-D: two queued levels from the same sender squash to the better
     # (smaller) one; 0 stays the "unset" identity.
     combine = staticmethod(min_monotone_merge)
+    # Bulk-ingest fast path: levels relax as min(level, nbr + 1).
+    bulk_kernel = MinPlusKernel(unit_weight=True)
 
     def on_init(self, ctx: VertexContext, payload: Any) -> None:
         # Begin traversal from this vertex.

@@ -26,6 +26,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.algorithms.base import max_monotone_merge
+from repro.kernels.frontier import MaxLabelKernel
 from repro.runtime.program import VertexContext, VertexProgram
 from repro.util.hashing import stable_vertex_hash
 
@@ -52,6 +53,8 @@ class IncrementalCC(VertexProgram):
     # §II-D: queued labels from the same sender squash to the dominator
     # (labels only grow; 0 loses to any real label).
     combine = staticmethod(max_monotone_merge)
+    # Bulk-ingest fast path: labels relax as max(label, nbr label).
+    bulk_kernel = MaxLabelKernel()
 
     def on_add(self, ctx: VertexContext, vis_id: int, vis_val: Any, weight: int) -> None:
         # If we are a new vertex, label us.

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.algorithms.base import INF, min_monotone_merge
+from repro.kernels.frontier import MinPlusKernel
 from repro.runtime.program import VertexContext, VertexProgram
 
 
@@ -34,6 +35,8 @@ class IncrementalSSSP(VertexProgram):
     # §II-D: queued path costs from the same sender squash to the
     # cheaper one; 0 stays the "unset" identity.
     combine = staticmethod(min_monotone_merge)
+    # Bulk-ingest fast path: costs relax as min(cost, nbr + weight).
+    bulk_kernel = MinPlusKernel(unit_weight=False)
 
     def on_init(self, ctx: VertexContext, payload: Any) -> None:
         ctx.set_value(1)

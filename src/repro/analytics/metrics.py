@@ -29,6 +29,9 @@ class ThroughputReport:
     busy_time_total: float
     updates_squashed: int = 0  # UPDATEs coalesced in visitor queues (§II-D)
     batch_sends: int = 0  # send_many fan-out batches emitted
+    bulk_chunks: int = 0  # bulk-ingest chunks drained (fast path)
+    bulk_events: int = 0  # events ingested via the bulk path
+    fallback_flushes: int = 0  # bulk de-optimizations to per-event
     wall_seconds: float | None = None
 
     @property
@@ -68,6 +71,12 @@ class ThroughputReport:
             f"({self.squash_fraction:.1%} of emissions) "
             f"batch_sends={self.batch_sends:,}",
         ]
+        if self.bulk_chunks or self.bulk_events or self.fallback_flushes:
+            lines.append(
+                f"  bulk ingest: chunks={self.bulk_chunks:,} "
+                f"events={self.bulk_events:,} "
+                f"fallback_flushes={self.fallback_flushes:,}"
+            )
         if self.wall_seconds is not None:
             lines.append(
                 f"  simulator wall time: {format_seconds(self.wall_seconds)}"
@@ -91,5 +100,8 @@ def throughput_report(engine, wall_seconds: float | None = None) -> ThroughputRe
         busy_time_total=total.busy_time,
         updates_squashed=total.updates_squashed,
         batch_sends=total.batch_sends,
+        bulk_chunks=total.bulk_chunks,
+        bulk_events=total.bulk_events,
+        fallback_flushes=total.fallback_flushes,
         wall_seconds=wall_seconds,
     )

@@ -29,10 +29,24 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from typing import Callable
+
 from repro.comm.costmodel import CostModel
-from repro.staticalgs.algorithms import static_bfs
+from repro.staticalgs.algorithms import OpCounts, static_bfs, static_cc, static_sssp
 from repro.storage.csr import CSRGraph
 from repro.util.validate import check_positive
+
+# Registry of static per-batch recompute kernels.  Each adapter has the
+# uniform shape ``(graph, source) -> (result, OpCounts)``; algorithms
+# without a source vertex (CC) simply ignore it.  Extend by adding an
+# entry — the pipeline machinery is algorithm-agnostic.
+STATIC_ALGORITHMS: dict[
+    str, Callable[[CSRGraph, int], tuple[dict, OpCounts]]
+] = {
+    "bfs": static_bfs,
+    "sssp": static_sssp,
+    "cc": lambda graph, source: static_cc(graph),
+}
 
 
 @dataclass
@@ -71,8 +85,9 @@ class SnapshotPipeline:
     batch_size:
         Optional early-close bound on events per batch.
     algorithm:
-        Currently ``"bfs"`` (the paper's running example); the source
-        vertex is supplied to :meth:`run`.
+        Any key of :data:`STATIC_ALGORITHMS` (``"bfs"``, ``"sssp"``,
+        ``"cc"``); the source vertex is supplied to :meth:`run` and is
+        ignored by sourceless algorithms (CC).
     """
 
     def __init__(
@@ -89,8 +104,11 @@ class SnapshotPipeline:
         check_positive("n_ranks", n_ranks)
         if batch_size is not None:
             check_positive("batch_size", batch_size)
-        if algorithm != "bfs":
-            raise ValueError(f"unsupported algorithm {algorithm!r}")
+        if algorithm not in STATIC_ALGORITHMS:
+            raise ValueError(
+                f"unsupported algorithm {algorithm!r}; "
+                f"known: {sorted(STATIC_ALGORITHMS)}"
+            )
         self.batch_interval = float(batch_interval)
         self.arrival_rate = float(arrival_rate)
         self.n_ranks = int(n_ranks)
@@ -117,9 +135,11 @@ class SnapshotPipeline:
         """Replay the stream; returns the staleness/cost report.
 
         The per-batch compute cost is grounded in real executions: the
-        CSR is actually rebuilt per batch and the static BFS actually
-        run, with virtual cost = measured ops x cost-model constants.
+        CSR is actually rebuilt per batch and the static algorithm
+        actually run, with virtual cost = measured ops x cost-model
+        constants.
         """
+        static_alg = STATIC_ALGORITHMS[self.algorithm]
         src = np.asarray(src, dtype=np.int64)
         dst = np.asarray(dst, dtype=np.int64)
         n = len(src)
@@ -143,7 +163,7 @@ class SnapshotPipeline:
                 * self.cost.static_build_edge_cpu
                 / self.n_ranks
             )
-            _, ops = static_bfs(graph, source)
+            _, ops = static_alg(graph, source)
             t_alg = self.cost.static_traversal_time(
                 ops.vertex_visits, ops.edge_scans, self.n_ranks
             )

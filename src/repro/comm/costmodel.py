@@ -196,6 +196,9 @@ class RankCounters:
     busy_time: float = 0.0  # virtual seconds of CPU consumed
     updates_squashed: int = 0  # UPDATEs combined into this rank's inbox (§II-D)
     batch_sends: int = 0  # send_many fan-out batches emitted by this rank
+    bulk_chunks: int = 0  # bulk-ingest chunks this rank drained
+    bulk_events: int = 0  # topology events ingested via the bulk path
+    fallback_flushes: int = 0  # bulk de-optimizations back to per-event
 
     def merge(self, other: "RankCounters") -> "RankCounters":
         return RankCounters(
@@ -209,4 +212,7 @@ class RankCounters:
             busy_time=self.busy_time + other.busy_time,
             updates_squashed=self.updates_squashed + other.updates_squashed,
             batch_sends=self.batch_sends + other.batch_sends,
+            bulk_chunks=self.bulk_chunks + other.bulk_chunks,
+            bulk_events=self.bulk_events + other.bulk_events,
+            fallback_flushes=self.fallback_flushes + other.fallback_flushes,
         )

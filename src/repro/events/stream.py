@@ -41,6 +41,43 @@ class EventStream:
     def exhausted(self) -> bool:
         return self.remaining() == 0
 
+    @property
+    def add_only(self) -> bool:
+        """True iff the stream provably contains only ADD events — the
+        precondition for the bulk-ingest fast path.  Subclasses that
+        know their contents override this; the conservative default is
+        False (bulk ineligible)."""
+        return False
+
+    def pull_chunk(
+        self, max_events: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Pull up to ``max_events`` events as ``(src, dst, weight)``
+        int64 columns (the bulk-ingest fast path).
+
+        Only valid on :attr:`add_only` streams — the tuple carries no
+        event kinds.  The base implementation loops :meth:`pull`;
+        array-backed streams override with zero-copy slices.
+        """
+        srcs: list[int] = []
+        dsts: list[int] = []
+        ws: list[int] = []
+        while len(srcs) < max_events:
+            ev = self.pull()
+            if ev is None:
+                break
+            kind, s, d, w = ev
+            if kind != ADD:  # pragma: no cover - add_only violated
+                raise ValueError("pull_chunk on a stream with non-ADD events")
+            srcs.append(s)
+            dsts.append(d)
+            ws.append(w)
+        return (
+            np.asarray(srcs, dtype=np.int64),
+            np.asarray(dsts, dtype=np.int64),
+            np.asarray(ws, dtype=np.int64),
+        )
+
 
 class ArrayEventStream(EventStream):
     """A stream backed by parallel NumPy columns (the fast path).
@@ -78,6 +115,9 @@ class ArrayEventStream(EventStream):
             if bad.any():
                 raise ValueError(f"unknown event kinds at {np.nonzero(bad)[0][:5]}")
             self._kinds = kinds
+        self._add_only = self._kinds is None or not bool(
+            (self._kinds == DELETE).any()
+        )
         self._cursor = 0
         self._n = n
         self.stream_id = stream_id
@@ -92,6 +132,19 @@ class ArrayEventStream(EventStream):
 
     def remaining(self) -> int:
         return self._n - self._cursor
+
+    @property
+    def add_only(self) -> bool:
+        return self._add_only
+
+    def pull_chunk(
+        self, max_events: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Zero-copy chunk pull: slice views over the backing columns."""
+        i = self._cursor
+        j = min(i + max_events, self._n)
+        self._cursor = j
+        return self._src[i:j], self._dst[i:j], self._weights[i:j]
 
     def __len__(self) -> int:
         return self._n
@@ -111,6 +164,7 @@ class ListEventStream(EventStream):
                 raise ValueError(f"event must be (kind, src, dst, weight), got {ev!r}")
             if ev[0] not in (ADD, DELETE):
                 raise ValueError(f"unknown event kind in {ev!r}")
+        self._add_only = all(ev[0] == ADD for ev in self._events)
         self._cursor = 0
         self.stream_id = stream_id
 
@@ -123,6 +177,10 @@ class ListEventStream(EventStream):
 
     def remaining(self) -> int:
         return len(self._events) - self._cursor
+
+    @property
+    def add_only(self) -> bool:
+        return self._add_only
 
     def __len__(self) -> int:
         return len(self._events)

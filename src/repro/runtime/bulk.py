@@ -1,0 +1,352 @@
+"""Bulk-ingest fast path: chunked saturation replay with array kernels.
+
+Motivation (wall-clock, not virtual-time): the per-event engine pays
+full Python dispatch — heap push/pop, tuple churn, one callback per
+edge endpoint — for every topology event.  During *pure saturation
+replay* none of that machinery is observable: no collection cut is
+active, no trigger watches the state, every program's state is REMO
+monotone.  Under those conditions the final fixpoint is independent of
+event interleaving (§II-B), so a whole chunk of ADD events can be
+applied at once and the algorithm state advanced by vectorized
+delta-frontier relaxation (:mod:`repro.kernels.frontier`) with a result
+bitwise-equal to the per-event path.
+
+The :class:`BulkIngestor` owns the dense mirror of the engine state:
+
+* a vertex universe (arrival-ordered dense ids, searchsorted lookup),
+* one dense value array per program (dtype chosen by its
+  ``bulk_kernel``),
+* the global directed edge set, key-sorted so its tail column *is* the
+  CSR ordering (undirected input edges appear as two directed edges,
+  exactly as the per-event ADD / REVERSE_ADD pair stores them).
+
+Exactness contract
+------------------
+* **Engage** only while eligible (``DynamicEngine._bulk_eligible``): no
+  active or pending collection, no registered triggers, no injected
+  timed events, add-only streams, every program kernel-capable.
+* **Topology** appended in bulk lands in ``DegAwareRHH`` array append
+  buffers; any classic store access materialises them through the exact
+  ``insert_edge`` path first, so per-event code never observes a stale
+  store.
+* **De-optimize** (:meth:`deoptimize`): the moment per-event processing
+  must resume — any message dispatch, or eligibility lost — the dense
+  values are merged back into the per-rank value dicts *before* the
+  event is handled.  Merging is the program's monotone combine, so a
+  per-event write that raced ahead is never regressed.
+* **Resync**: per-event activity bumps ``_topo_mutations`` /
+  ``_value_mutations`` on the engine; the next chunk re-reads stores
+  and dicts before trusting its dense mirror.
+
+Virtual-time accounting is kept comparable to the per-event path: each
+chunk charges ``stream_pull_cpu`` per event to the ingesting rank,
+``edge_insert_cpu`` per appended directed edge to its owner rank (plus
+the NVRAM spill penalty when configured), and ``visit_discard_cpu`` per
+kernel edge relaxation to the ingesting rank.  ``visits`` counters are
+*not* incremented — bulk chunks report through the dedicated
+``bulk_chunks`` / ``bulk_events`` / ``fallback_flushes`` counters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.frontier import csr_indptr, relax_to_fixpoint
+
+_EMPTY_I64 = np.empty(0, dtype=np.int64)
+
+
+class BulkIngestor:
+    """Array-native chunk processor attached to one :class:`DynamicEngine`."""
+
+    def __init__(self, engine):
+        self.engine = engine
+        programs = engine.programs
+        self.kernels = [p.bulk_kernel for p in programs]
+        # Construction-only (no programs) is vacuously supported.
+        self.supported = all(
+            k is not None and not p.needs_nbr_cache
+            for p, k in zip(programs, self.kernels)
+        )
+        self.disabled = False  # set when injected timed events exist
+        self.engaged = False  # dense mirror is ahead of the value dicts
+        # Vertex universe: ids[dense] = vertex id, plus a sorted view
+        # for O(log V) vectorized lookup.
+        self.ids = _EMPTY_I64
+        self._sorted_ids = _EMPTY_I64
+        self._sorted_perm = _EMPTY_I64
+        self._owners: np.ndarray | None = None
+        self.values: list[np.ndarray] = [
+            np.empty(0, dtype=k.dtype) if k is not None else _EMPTY_I64
+            for k in self.kernels
+        ]
+        # Global directed edges, sorted by key = (tail_dense << 32) | head_dense.
+        self.keys = np.empty(0, dtype=np.uint64)
+        self.tails = _EMPTY_I64
+        self.heads = _EMPTY_I64
+        self.weights = _EMPTY_I64
+        self._pending_frontier: list[np.ndarray | None] = [None] * len(self.kernels)
+        self._synced_topo = -1
+        self._synced_vals = -1
+
+    # ------------------------------------------------------------------
+    # vertex universe
+    # ------------------------------------------------------------------
+    def _lookup(self, vids: np.ndarray) -> np.ndarray:
+        """Dense indices of known vertex ids (vectorized)."""
+        return self._sorted_perm[np.searchsorted(self._sorted_ids, vids)]
+
+    def _extend_universe(self, vids: np.ndarray) -> None:
+        uniq = np.unique(vids)
+        if self._sorted_ids.size:
+            pos = np.minimum(
+                np.searchsorted(self._sorted_ids, uniq), self._sorted_ids.size - 1
+            )
+            uniq = uniq[self._sorted_ids[pos] != uniq]
+        if not uniq.size:
+            return
+        self.ids = np.concatenate([self.ids, uniq])
+        if self.ids.size >= (1 << 32):  # pragma: no cover - key encoding bound
+            raise OverflowError("bulk universe exceeds 2^32 vertices")
+        order = np.argsort(self.ids, kind="stable")
+        self._sorted_ids = self.ids[order]
+        self._sorted_perm = order
+        self._owners = None
+        for p, kernel in enumerate(self.kernels):
+            self.values[p] = np.concatenate(
+                [self.values[p], kernel.init_values(uniq)]
+            )
+
+    def _owner_of_dense(self) -> np.ndarray:
+        if self._owners is None or len(self._owners) != len(self.ids):
+            self._owners = self.engine.partitioner.owner_array(self.ids)
+        return self._owners
+
+    # ------------------------------------------------------------------
+    # resync with per-event state
+    # ------------------------------------------------------------------
+    def _sync(self) -> None:
+        eng = self.engine
+        if eng._topo_mutations != self._synced_topo:
+            self._rebuild_topology()
+            self._synced_topo = eng._topo_mutations
+        if eng._value_mutations != self._synced_vals:
+            self._merge_dict_values()
+            self._synced_vals = eng._value_mutations
+
+    def _rebuild_topology(self) -> None:
+        """Re-read every store's exact edge set (flushes append buffers)."""
+        srcs: list[int] = []
+        dsts: list[int] = []
+        ws: list[int] = []
+        for store in self.engine.stores:
+            for s, d, w in store.edges():
+                srcs.append(s)
+                dsts.append(d)
+                ws.append(w)
+        t = np.asarray(srcs, dtype=np.int64)
+        h = np.asarray(dsts, dtype=np.int64)
+        w_arr = np.asarray(ws, dtype=np.int64)
+        if t.size:
+            self._extend_universe(np.concatenate([t, h]))
+            t_d = self._lookup(t)
+            h_d = self._lookup(h)
+            keys = (t_d.astype(np.uint64) << np.uint64(32)) | h_d.astype(np.uint64)
+            order = np.argsort(keys, kind="stable")
+            self.keys = keys[order]
+            self.tails = t_d[order]
+            self.heads = h_d[order]
+            self.weights = w_arr[order]
+        else:
+            self.keys = np.empty(0, dtype=np.uint64)
+            self.tails = self.heads = self.weights = _EMPTY_I64
+
+    def _merge_dict_values(self) -> None:
+        """Fold per-event dict values into the dense mirror (monotone
+        merge) and queue changed vertices for re-propagation."""
+        eng = self.engine
+        vid_arrays = [
+            np.fromiter(d.keys(), np.int64, len(d))
+            for rank_vals in eng.values
+            for d in rank_vals
+            if d
+        ]
+        if vid_arrays:
+            self._extend_universe(np.concatenate(vid_arrays))
+        for p, kernel in enumerate(self.kernels):
+            for rank_vals in eng.values:
+                d = rank_vals[p]
+                if not d:
+                    continue
+                vids = np.fromiter(d.keys(), np.int64, len(d))
+                vals = np.fromiter(d.values(), kernel.dtype, len(d))
+                idx = self._lookup(vids)
+                cur = self.values[p][idx]
+                merged = kernel.merge_dense(cur, vals)
+                changed = merged != cur
+                if changed.any():
+                    self.values[p][idx[changed]] = merged[changed]
+                    prev = self._pending_frontier[p]
+                    add = idx[changed]
+                    self._pending_frontier[p] = (
+                        add if prev is None else np.concatenate([prev, add])
+                    )
+
+    # ------------------------------------------------------------------
+    # chunk processing
+    # ------------------------------------------------------------------
+    def process_chunk(self, rank: int, stream) -> int:
+        """Drain up to ``bulk_chunk`` events from ``stream`` and advance
+        topology + all program states to the new fixpoint.  Returns the
+        number of events ingested (0 = stream exhausted)."""
+        eng = self.engine
+        src, dst, w = stream.pull_chunk(eng.config.bulk_chunk)
+        n = len(src)
+        if n == 0:
+            return 0
+        self._sync()
+        counters = eng.counters[rank]
+        counters.source_events += n
+        counters.bulk_chunks += 1
+        counters.bulk_events += n
+        undirected = eng.config.undirected
+        if undirected:
+            swap = dst < src
+            if swap.any():
+                src, dst = np.where(swap, dst, src), np.where(swap, src, dst)
+        # Topology: array append buffers on each owner's store (the
+        # ADD side), plus the REVERSE_ADD side for undirected runs.
+        self._append_to_stores(src, dst, w)
+        if undirected:
+            self._append_to_stores(dst, src, w)
+        self._extend_universe(np.concatenate([src, dst]))
+        t_d = self._lookup(src)
+        h_d = self._lookup(dst)
+        if undirected:
+            tails = np.concatenate([t_d, h_d])
+            heads = np.concatenate([h_d, t_d])
+            wts = np.concatenate([w, w])
+        else:
+            tails, heads, wts = t_d, h_d, np.asarray(w, dtype=np.int64)
+        new_tails = self._merge_edges(tails, heads, wts)
+        if new_tails.size:
+            owners = eng.partitioner.owner_array(self.ids[new_tails])
+            for r, c in enumerate(np.bincount(owners, minlength=eng.config.n_ranks)):
+                if c:
+                    eng.counters[r].edge_inserts += int(c)
+        # REMO propagation: delta-frontier relaxation from the chunk's
+        # endpoints (values elsewhere are already at fixpoint).
+        frontier_base = np.unique(np.concatenate([t_d, h_d]))
+        total_relax = 0
+        if self.kernels:
+            indptr = csr_indptr(len(self.ids), self.tails)
+            for p, kernel in enumerate(self.kernels):
+                extra = self._pending_frontier[p]
+                frontier = (
+                    frontier_base
+                    if extra is None
+                    else np.concatenate([frontier_base, extra])
+                )
+                self._pending_frontier[p] = None
+                _rounds, relaxed = relax_to_fixpoint(
+                    indptr, self.heads, self.weights, self.values[p], frontier, kernel
+                )
+                total_relax += relaxed
+        eng._charge(
+            rank,
+            n * eng.cost.stream_pull_cpu + total_relax * eng.cost.visit_discard_cpu,
+        )
+        self.engaged = True
+        return n
+
+    def _append_to_stores(self, srcs, dsts, ws) -> None:
+        eng = self.engine
+        owners = eng.partitioner.owner_array(srcs)
+        counts = np.bincount(owners, minlength=eng.config.n_ranks)
+        for r in np.nonzero(counts)[0]:
+            r = int(r)
+            m = owners == r
+            store = eng.stores[r]
+            store.bulk_append_edges(srcs[m], dsts[m], ws[m])
+            cpu = int(counts[r]) * eng.cost.edge_insert_cpu
+            if eng.cost.rank_memory_bytes != float("inf"):
+                frac = eng.cost.spill_fraction(store.approx_bytes())
+                cpu += int(counts[r]) * frac * eng.cost.nvram_access_cpu
+            eng._charge(r, cpu)
+
+    def _merge_edges(
+        self, tails: np.ndarray, heads: np.ndarray, wts: np.ndarray
+    ) -> np.ndarray:
+        """Fold a chunk's directed edges into the key-sorted global set.
+
+        Within-chunk duplicates keep the last weight; duplicates of an
+        existing edge overwrite its weight (attribute update, matching
+        ``insert_edge``).  Returns the dense tails of genuinely new
+        edges (for the ``edge_inserts`` counters)."""
+        keys = (tails.astype(np.uint64) << np.uint64(32)) | heads.astype(np.uint64)
+        order = np.argsort(keys, kind="stable")
+        ks = keys[order]
+        last = np.empty(len(ks), dtype=bool)
+        last[:-1] = ks[1:] != ks[:-1]
+        last[-1] = True
+        sel = order[last]
+        keys, tails, heads, wts = ks[last], tails[sel], heads[sel], wts[sel]
+        if self.keys.size:
+            pos = np.searchsorted(self.keys, keys)
+            pos_c = np.minimum(pos, self.keys.size - 1)
+            exists = self.keys[pos_c] == keys
+            if exists.any():
+                self.weights[pos[exists]] = wts[exists]
+            fresh = ~exists
+            keys, tails, heads, wts = (
+                keys[fresh], tails[fresh], heads[fresh], wts[fresh],
+            )
+        if keys.size:
+            merged = np.concatenate([self.keys, keys])
+            order = np.argsort(merged, kind="stable")
+            self.keys = merged[order]
+            self.tails = np.concatenate([self.tails, tails])[order]
+            self.heads = np.concatenate([self.heads, heads])[order]
+            self.weights = np.concatenate([self.weights, wts])[order]
+        return tails
+
+    # ------------------------------------------------------------------
+    # de-optimization / finalization
+    # ------------------------------------------------------------------
+    def deoptimize(self) -> None:
+        """Exactness barrier: flush dense values back into the per-rank
+        dicts so per-event processing resumes on exact state.  Counted
+        in ``fallback_flushes``."""
+        self.flush_values(count_fallback=True)
+
+    def flush_values(self, count_fallback: bool = True) -> None:
+        if not self.engaged:
+            return
+        eng = self.engine
+        if eng._value_mutations != self._synced_vals:
+            # Defensive: per-event writes while engaged are normally
+            # impossible (on_message de-optimizes first), but merge
+            # rather than clobber if it ever happens.
+            self._merge_dict_values()
+        owners = self._owner_of_dense()
+        for p in range(len(self.kernels)):
+            fire = eng.triggers.has_triggers(p)
+            vals = self.values[p]
+            for r in range(eng.config.n_ranks):
+                m = owners == r
+                if not m.any():
+                    continue
+                d = eng.values[r][p]
+                pairs = zip(self.ids[m].tolist(), vals[m].tolist())
+                if fire:
+                    now = eng.loop.now(r)
+                    for vid, v in pairs:
+                        if d.get(vid, 0) != v:
+                            d[vid] = v
+                            eng.triggers.on_change(p, vid, v, now)
+                else:
+                    d.update(pairs)
+        self.engaged = False
+        self._synced_vals = eng._value_mutations
+        if count_fallback:
+            eng.counters[eng.config.coordinator_rank].fallback_flushes += 1

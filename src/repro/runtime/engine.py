@@ -67,11 +67,20 @@ class EngineConfig:
     # ON by default; the coalescing ablation bench turns them off.
     coalesce_updates: bool = True
     batch_updates: bool = True
+    # Opt-in wall-clock fast path: during pure saturation replay (no
+    # collection, no triggers, add-only streams, kernel-capable
+    # programs) drain streams in chunks of ``bulk_chunk`` events and
+    # propagate with array frontier kernels.  Bitwise-exact: the engine
+    # transparently de-optimizes back to per-event processing the
+    # moment any of those conditions breaks.  See repro.runtime.bulk.
+    bulk_ingest: bool = False
+    bulk_chunk: int = 8192
 
     def __post_init__(self) -> None:
         check_positive("n_ranks", self.n_ranks)
         check_positive("promote_threshold", self.promote_threshold)
         check_non_negative("probe_backoff", self.probe_backoff)
+        check_positive("bulk_chunk", self.bulk_chunk)
         if not 0 <= self.coordinator_rank < self.n_ranks:
             raise ValueError("coordinator_rank out of range")
 
@@ -163,6 +172,17 @@ class DynamicEngine(RankHandler):
         self._next_version = 1
         self._next_collection_id = 0
         self._started = False
+        # Bulk-ingest bookkeeping: generation counters let the bulk
+        # controller detect (and resync after) any per-event activity.
+        self._topo_mutations = 0
+        self._value_mutations = 0
+        self._streams_add_only = True
+        if self.config.bulk_ingest:
+            from repro.runtime.bulk import BulkIngestor
+
+            self._bulk: BulkIngestor | None = BulkIngestor(self)
+        else:
+            self._bulk = None
         for r in range(n):
             self.loop.set_source_active(r, False)
 
@@ -195,6 +215,9 @@ class DynamicEngine(RankHandler):
             self._streams[r] = s
             self._stream_done[r] = False
             self.loop.set_source_active(r, True)
+        self._streams_add_only = all(
+            s.add_only for s in self._streams if s is not None
+        )
 
     def inject_timed_events(
         self, events: Iterable[tuple[float, int, int, int, int]]
@@ -209,6 +232,11 @@ class DynamicEngine(RankHandler):
         Returns the number of events injected.  Combine freely with
         pulled streams.
         """
+        if self._bulk is not None:
+            # Timed events interleave with pulled ones at explicit
+            # instants; chunked replay would reorder across them, so
+            # bulk ingest is conservatively disabled for the run.
+            self._bulk.disabled = True
         n = 0
         for at_time, kind, src, dst, weight in events:
             if self.config.undirected and dst < src:
@@ -286,7 +314,14 @@ class DynamicEngine(RankHandler):
         if not self._started:
             self.loop.start()
             self._started = True
-        return self.loop.run(max_virtual_time=max_virtual_time, max_actions=max_actions)
+        makespan = self.loop.run(
+            max_virtual_time=max_virtual_time, max_actions=max_actions
+        )
+        if self._bulk is not None and self._bulk.engaged:
+            # End-of-run flush so observation APIs read exact values;
+            # not a de-optimization (nothing forced per-event replay).
+            self._bulk.flush_values(count_fallback=False)
+        return makespan
 
     # ------------------------------------------------------------------
     # public API: observation
@@ -400,7 +435,32 @@ class DynamicEngine(RankHandler):
     # ------------------------------------------------------------------
     # RankHandler: source ingestion
     # ------------------------------------------------------------------
+    def _bulk_eligible(self) -> bool:
+        """Pure saturation replay: every condition under which chunked
+        array processing is provably bitwise-equal to per-event DES."""
+        b = self._bulk
+        return (
+            b is not None
+            and b.supported
+            and not b.disabled
+            and self.active_collection is None
+            and not self._pending_collections
+            and not self.triggers.has_any()
+            and self._streams_add_only
+        )
+
     def pull_source(self, loop: DiscreteEventLoop, rank: int) -> bool:
+        b = self._bulk
+        if b is not None:
+            eligible = self._bulk_eligible()
+            if b.engaged and not eligible:
+                b.deoptimize()
+            if eligible:
+                stream = self._streams[rank]
+                if stream is not None and b.process_chunk(rank, stream):
+                    return True
+                # Exhausted (or no stream): fall through so the
+                # per-event path records stream completion.
         stream = self._streams[rank]
         if stream is None:
             self._stream_done[rank] = True
@@ -434,6 +494,12 @@ class DynamicEngine(RankHandler):
     # RankHandler: visitor dispatch (Alg. 3's VISIT switch)
     # ------------------------------------------------------------------
     def on_message(self, loop: DiscreteEventLoop, rank: int, msg: tuple) -> None:
+        b = self._bulk
+        if b is not None and b.engaged:
+            # Any per-event dispatch (visitor or control) while the
+            # dense mirror is ahead forces a de-optimizing flush first,
+            # so the callback below observes exact state.
+            b.deoptimize()
         vt = msg[0]
         if vt == VT_UPDATE:
             _, p, target, vis_id, vis_val, weight, ver = msg
@@ -536,6 +602,7 @@ class DynamicEngine(RankHandler):
     # ------------------------------------------------------------------
     def _apply_insert(self, rank: int, src: int, dst: int, weight: int) -> bool:
         store = self.stores[rank]
+        self._topo_mutations += 1
         new = store.insert_edge(src, dst, weight)
         if new:
             self.counters[rank].edge_inserts += 1
@@ -545,6 +612,7 @@ class DynamicEngine(RankHandler):
 
     def _apply_delete(self, rank: int, src: int, dst: int) -> None:
         store = self.stores[rank]
+        self._topo_mutations += 1
         if store.delete_edge(src, dst):
             self.counters[rank].edge_deletes += 1
         self._charge(rank, self.cost.edge_insert_cpu)
@@ -620,6 +688,7 @@ class DynamicEngine(RankHandler):
         self, rank: int, prog: int, vertex: int, value: Any, view_prev: bool
     ) -> None:
         self._cb_effect[rank] = True
+        self._value_mutations += 1
         vals = self.values[rank][prog]
         if view_prev:
             self._prev_vals[rank][vertex] = value

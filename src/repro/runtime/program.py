@@ -143,12 +143,20 @@ class VertexProgram:
       mandatory for programs whose update payloads are commands or
       deltas rather than monotone values (degree counting, the
       generational delete programs).
+    * ``bulk_kernel`` — optional array-native relaxation strategy (a
+      :class:`repro.kernels.frontier.FrontierKernel`) declaring how the
+      bulk-ingest fast path reaches this program's REMO fixpoint over a
+      whole chunk of inserts at once.  Only sound for monotone programs
+      whose fixpoint is interleaving-independent (§II-B); ``None`` (the
+      default) keeps the program per-event, which in turn keeps the
+      whole engine per-event whenever the program is loaded.
     """
 
     name = "vertex-program"
     needs_nbr_cache = False
     snapshot_mode = "merge"
     combine: Callable[[Any, Any], Any] | None = None
+    bulk_kernel: Any | None = None
 
     # -- lifecycle callbacks ---------------------------------------------
     def on_init(self, ctx: VertexContext, payload: Any) -> None:

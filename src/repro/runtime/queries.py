@@ -100,6 +100,14 @@ class TriggerManager:
     def has_triggers(self, prog: int) -> bool:
         return bool(self._global.get(prog)) or bool(self._by_vertex.get(prog))
 
+    def has_any(self) -> bool:
+        """Any trigger registered on any program?  (Bulk-ingest
+        eligibility: chunked replay cannot report the exact virtual
+        instant a predicate first became true.)"""
+        return any(self._global.values()) or any(
+            any(lst for lst in per_v.values()) for per_v in self._by_vertex.values()
+        )
+
     def on_change(self, prog: int, vertex: int, value: Any, time: float) -> None:
         """Engine hook: a program value was written."""
         per_vertex = self._by_vertex.get(prog)

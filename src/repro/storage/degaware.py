@@ -30,6 +30,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
+import numpy as np
+
 from repro.storage.robin_hood import RobinHoodMap
 from repro.util.validate import check_positive
 
@@ -89,22 +91,38 @@ class DegAwareRHH:
         # vertex id -> slot in self._adj
         self._index: RobinHoodMap | dict[int, int]
         self._index = RobinHoodMap(64) if vertex_index == "robinhood" else {}
+        # Bind the index-lookup strategy once: _slot_of is on every
+        # edge operation's critical path, so a per-call string compare
+        # on the index kind is measurable overhead (see bench_micro).
+        self._slot_of = (
+            self._slot_of_dict if vertex_index == "dict" else self._slot_of_rhh
+        )
         self._adj: list[_LowDegreeAdjacency | RobinHoodMap] = []
         self._vids: list[int] = []
         self._num_edges = 0
+        # Bulk-ingest append buffers (numpy column chunks), materialised
+        # through insert_edge on first classic access — see
+        # bulk_append_edges.
+        self._pending_src: list[np.ndarray] = []
+        self._pending_dst: list[np.ndarray] = []
+        self._pending_w: list[np.ndarray] = []
+        self._pending_count = 0
         self.stats = AdjacencyStats()
 
     # ------------------------------------------------------------------
     # vertex level
     # ------------------------------------------------------------------
-    def _slot_of(self, vid: int) -> int:
-        if self._index_kind == "dict":
-            return self._index.get(vid, -1)  # type: ignore[union-attr]
+    def _slot_of_dict(self, vid: int) -> int:
+        return self._index.get(vid, -1)  # type: ignore[union-attr]
+
+    def _slot_of_rhh(self, vid: int) -> int:
         got = self._index.get(vid)  # type: ignore[union-attr]
         return -1 if got is None else got
 
     def ensure_vertex(self, vid: int) -> bool:
         """Register ``vid`` if unseen; returns True iff it was new."""
+        if self._pending_count:
+            self._flush_pending()
         if self._slot_of(vid) >= 0:
             return False
         slot = len(self._adj)
@@ -117,21 +135,112 @@ class DegAwareRHH:
         return True
 
     def has_vertex(self, vid: int) -> bool:
+        if self._pending_count:
+            self._flush_pending()
         return self._slot_of(vid) >= 0
 
     def vertices(self) -> Iterator[int]:
         """Iterate all registered vertex IDs (insertion order)."""
+        if self._pending_count:
+            self._flush_pending()
         return iter(self._vids)
 
     @property
     def num_vertices(self) -> int:
+        if self._pending_count:
+            self._flush_pending()
         return len(self._vids)
 
     @property
     def num_edges(self) -> int:
         """Number of stored directed edges (undirected edges count twice
         across the whole system, once per endpoint's rank)."""
+        if self._pending_count:
+            self._flush_pending()
         return self._num_edges
+
+    # ------------------------------------------------------------------
+    # bulk-ingest tier (array append buffers + CSR-delta view)
+    # ------------------------------------------------------------------
+    def bulk_append_edges(
+        self, src: np.ndarray, dst: np.ndarray, weights: np.ndarray
+    ) -> None:
+        """Append directed edges as numpy columns without touching the
+        per-vertex tiers (the bulk-ingest fast path).
+
+        The buffers are invisible to the classic API until
+        :meth:`flush_bulk` runs — every classic accessor triggers it
+        lazily, replaying the buffered edges through the exact
+        ``insert_edge`` path (dedup, weight overwrite, promotion), so
+        correctness is by construction and only the *timing* of the
+        per-edge work moves.
+        """
+        if len(src) != len(dst) or len(src) != len(weights):
+            raise ValueError("bulk_append_edges column length mismatch")
+        if not len(src):
+            return
+        self._pending_src.append(np.asarray(src, dtype=np.int64))
+        self._pending_dst.append(np.asarray(dst, dtype=np.int64))
+        self._pending_w.append(np.asarray(weights, dtype=np.int64))
+        self._pending_count += len(src)
+
+    @property
+    def bulk_pending(self) -> int:
+        """Edges appended in bulk but not yet materialised."""
+        return self._pending_count
+
+    def bulk_pending_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The un-materialised append buffers as ``(src, dst, weights)``
+        columns, in append order (read-only view of the delta)."""
+        if not self._pending_count:
+            e = np.empty(0, dtype=np.int64)
+            return e, e, e
+        return (
+            np.concatenate(self._pending_src),
+            np.concatenate(self._pending_dst),
+            np.concatenate(self._pending_w),
+        )
+
+    def bulk_delta_csr(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """CSR view of the pending delta: ``(vids, indptr, dsts, weights)``.
+
+        ``vids`` are the distinct pending source vertices (sorted);
+        ``indptr[i]:indptr[i+1]`` slices ``dsts``/``weights`` for
+        ``vids[i]``.  This is the array-native continuation of
+        :meth:`neighbors_arrays` for not-yet-materialised edges;
+        within-buffer duplicate edges are *not* collapsed (they collapse
+        on flush, like repeated ``insert_edge`` calls).
+        """
+        src, dst, w = self.bulk_pending_arrays()
+        if not src.size:
+            return src, np.zeros(1, dtype=np.int64), dst, w
+        order = np.argsort(src, kind="stable")
+        src, dst, w = src[order], dst[order], w[order]
+        vids, counts = np.unique(src, return_counts=True)
+        indptr = np.zeros(len(vids) + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return vids, indptr, dst, w
+
+    def flush_bulk(self) -> int:
+        """Materialise the append buffers now; returns edges replayed."""
+        n = self._pending_count
+        if n:
+            self._flush_pending()
+        return n
+
+    def _flush_pending(self) -> None:
+        srcs = np.concatenate(self._pending_src)
+        dsts = np.concatenate(self._pending_dst)
+        ws = np.concatenate(self._pending_w)
+        self._pending_src.clear()
+        self._pending_dst.clear()
+        self._pending_w.clear()
+        self._pending_count = 0
+        insert = self.insert_edge
+        for s, d, w in zip(srcs.tolist(), dsts.tolist(), ws.tolist()):
+            insert(s, d, w)
 
     # ------------------------------------------------------------------
     # edge level
@@ -181,6 +290,8 @@ class DegAwareRHH:
         High-degree vertices are not demoted back to the compact tier
         (matching the promote-only behaviour of DegAwareRHH).
         """
+        if self._pending_count:
+            self._flush_pending()
         slot = self._slot_of(src)
         if slot < 0:
             return False
@@ -206,6 +317,8 @@ class DegAwareRHH:
 
     def edge_weight(self, src: int, dst: int) -> int | None:
         """Weight of ``src -> dst``, or None if the edge is absent."""
+        if self._pending_count:
+            self._flush_pending()
         slot = self._slot_of(src)
         if slot < 0:
             return None
@@ -217,6 +330,8 @@ class DegAwareRHH:
         return adj.weights[pos] if pos >= 0 else None
 
     def degree(self, src: int) -> int:
+        if self._pending_count:
+            self._flush_pending()
         slot = self._slot_of(src)
         if slot < 0:
             return 0
@@ -229,6 +344,8 @@ class DegAwareRHH:
         Low-degree vertices iterate in insertion order; promoted vertices
         iterate in table order.  Mutating during iteration is undefined.
         """
+        if self._pending_count:
+            self._flush_pending()
         slot = self._slot_of(src)
         if slot < 0:
             return iter(())
@@ -248,6 +365,8 @@ class DegAwareRHH:
         undefined").  Promoted vertices materialise fresh lists from the
         hash table.
         """
+        if self._pending_count:
+            self._flush_pending()
         slot = self._slot_of(src)
         if slot < 0:
             return [], []
@@ -263,12 +382,16 @@ class DegAwareRHH:
 
     def edges(self) -> Iterable[tuple[int, int, int]]:
         """Iterate all stored directed edges as ``(src, dst, weight)``."""
+        if self._pending_count:
+            self._flush_pending()
         for vid in self._vids:
             for dst, w in self.neighbors(vid):
                 yield vid, dst, w
 
     def is_promoted(self, src: int) -> bool:
         """True if ``src``'s adjacency lives in the high-degree tier."""
+        if self._pending_count:
+            self._flush_pending()
         slot = self._slot_of(src)
         return slot >= 0 and isinstance(self._adj[slot], RobinHoodMap)
 
@@ -279,12 +402,15 @@ class DegAwareRHH:
         Per vertex: index entry + container header (~88 B); per stored
         edge: neighbour id + weight + container slack (~40 B); promoted
         tables carry extra open-addressing slack (~24 B per threshold
-        slot at promotion time).
+        slot at promotion time).  Pending bulk-append edges count at
+        their packed column footprint (3 x int64) without forcing a
+        flush.
         """
         return (
-            88 * self.num_vertices
+            88 * len(self._vids)
             + 40 * self._num_edges
             + 24 * self.promote_threshold * self.stats.promotions
+            + 24 * self._pending_count
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

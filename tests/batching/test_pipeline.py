@@ -89,5 +89,27 @@ class TestBatching:
     def test_validation(self):
         with pytest.raises(ValueError):
             SnapshotPipeline(batch_interval=0, arrival_rate=1, n_ranks=1)
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError, match="known:.*bfs"):
             SnapshotPipeline(batch_interval=1, arrival_rate=1, n_ranks=1, algorithm="pr")
+
+    @pytest.mark.parametrize("algorithm", ["bfs", "sssp", "cc"])
+    def test_registry_algorithms_all_run(self, algorithm):
+        src, dst = chain(60)
+        p = SnapshotPipeline(
+            batch_interval=1e-5, arrival_rate=1e6, n_ranks=2, algorithm=algorithm
+        )
+        r = p.run(src, dst, 0)
+        assert r.n_batches == 6
+        assert r.compute_time > 0.0
+        assert r.staleness_mean > 0.0
+
+    def test_cc_ignores_source_vertex(self):
+        src, dst = chain(40)
+        p = SnapshotPipeline(
+            batch_interval=1e-5, arrival_rate=1e6, n_ranks=2, algorithm="cc"
+        )
+        # A source that does not exist in the graph must not matter.
+        a = p.run(src, dst, 10**9)
+        b = p.run(src, dst, 0)
+        assert a.compute_time == b.compute_time
+        assert a.batch_completion_times == b.batch_completion_times

@@ -1,0 +1,60 @@
+"""Output-shape contract of the bench harness's ``report_json``.
+
+The driver and EXPERIMENTS.md consumers rely on three properties of the
+``BENCH_*.json`` artifacts: they land at the repo root, their keys are
+sorted (stable diffs), and they end with a trailing newline (POSIX
+text files).  Locked in here so harness refactors cannot silently
+change the artifact format.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from harness import REPO_ROOT as HARNESS_ROOT  # noqa: E402
+from harness import report_json  # noqa: E402
+
+PAYLOAD = {
+    "zeta": 1,
+    "alpha": {"nested_z": [3, 2, 1], "nested_a": True},
+    "mid": None,
+}
+
+
+def test_report_json_shape(tmp_path):
+    name = "_pytest_shape_probe"
+    path = report_json(name, PAYLOAD)
+    try:
+        # Artifact lands at the repo root under the BENCH_ prefix.
+        assert path == REPO_ROOT / f"BENCH_{name}.json"
+        assert HARNESS_ROOT == REPO_ROOT
+        assert path.parent == REPO_ROOT
+
+        text = path.read_text()
+        # Trailing newline, exactly one.
+        assert text.endswith("\n")
+        assert not text.endswith("\n\n")
+        # Round-trips losslessly.
+        assert json.loads(text) == PAYLOAD
+        # Keys sorted at every nesting level (indent 2, sort_keys).
+        assert text == json.dumps(PAYLOAD, indent=2, sort_keys=True) + "\n"
+        lines = text.splitlines()
+        top_keys = [
+            line.split('"')[1] for line in lines if line.startswith('  "')
+        ]
+        assert top_keys == sorted(top_keys) == ["alpha", "mid", "zeta"]
+    finally:
+        path.unlink(missing_ok=True)
+
+
+def test_report_json_returns_written_path(tmp_path):
+    name = "_pytest_shape_probe2"
+    path = report_json(name, {"k": 1})
+    try:
+        assert path.exists()
+        assert json.loads(path.read_text()) == {"k": 1}
+    finally:
+        path.unlink(missing_ok=True)

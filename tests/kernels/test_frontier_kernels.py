@@ -1,0 +1,143 @@
+"""Unit tests of the array frontier kernels (repro.kernels.frontier)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import INF
+from repro.algorithms.cc import component_label
+from repro.kernels import (
+    MaxLabelKernel,
+    MinPlusKernel,
+    build_csr,
+    csr_indptr,
+    relax_to_fixpoint,
+)
+
+
+def csr_of(edges, n):
+    """Directed CSR from (tail, head, weight) triples."""
+    t = np.array([e[0] for e in edges], dtype=np.int64)
+    h = np.array([e[1] for e in edges], dtype=np.int64)
+    w = np.array([e[2] for e in edges], dtype=np.int64)
+    return build_csr(n, t, h, w)
+
+
+# ----------------------------------------------------------------------
+# CSR helpers
+# ----------------------------------------------------------------------
+def test_csr_indptr_counts_rows():
+    indptr = csr_indptr(4, np.array([0, 0, 2, 3, 3], dtype=np.int64))
+    assert indptr.tolist() == [0, 2, 2, 3, 5]
+
+
+def test_build_csr_groups_by_tail_preserving_order():
+    indptr, heads, weights = csr_of([(2, 0, 5), (0, 1, 1), (0, 2, 2)], 3)
+    assert indptr.tolist() == [0, 2, 2, 3]
+    assert heads.tolist() == [1, 2, 0]
+    assert weights.tolist() == [1, 2, 5]
+
+
+# ----------------------------------------------------------------------
+# min-plus relaxation (BFS / SSSP)
+# ----------------------------------------------------------------------
+def test_bfs_levels_on_a_path():
+    # 0 - 1 - 2 - 3 as two directed edges each.
+    edges = []
+    for a, b in ((0, 1), (1, 2), (2, 3)):
+        edges += [(a, b, 1), (b, a, 1)]
+    indptr, heads, weights = csr_of(edges, 4)
+    kernel = MinPlusKernel(unit_weight=True)
+    values = kernel.init_values(np.arange(4))
+    values[0] = 1  # source level, as Alg. 4's init
+    rounds, relaxations = relax_to_fixpoint(
+        indptr, heads, weights, values, np.array([0]), kernel
+    )
+    assert values.tolist() == [1, 2, 3, 4]
+    assert rounds == 4  # 3 improving waves + the final no-change one
+    assert relaxations > 0
+
+
+def test_sssp_prefers_cheap_two_hop_over_heavy_direct():
+    edges = [(0, 1, 10), (0, 2, 1), (2, 1, 2)]
+    indptr, heads, weights = csr_of(edges, 3)
+    kernel = MinPlusKernel(unit_weight=False)
+    values = kernel.init_values(np.arange(3))
+    values[0] = 1
+    relax_to_fixpoint(indptr, heads, weights, values, np.array([0]), kernel)
+    assert values.tolist() == [1, 4, 2]  # 1 reached via 0->2->1
+
+
+def test_min_kernel_inf_frontier_emits_nothing():
+    indptr, heads, weights = csr_of([(0, 1, 1)], 2)
+    kernel = MinPlusKernel(unit_weight=True)
+    values = kernel.init_values(np.arange(2))  # all INF, no source
+    rounds, relaxations = relax_to_fixpoint(
+        indptr, heads, weights, values, np.array([0, 1]), kernel
+    )
+    assert rounds == 0 and relaxations == 0
+    assert values.tolist() == [INF, INF]
+
+
+def test_empty_frontier_is_a_noop():
+    indptr, heads, weights = csr_of([(0, 1, 1)], 2)
+    kernel = MaxLabelKernel()
+    values = kernel.init_values(np.arange(2))
+    before = values.copy()
+    rounds, relaxations = relax_to_fixpoint(
+        indptr, heads, weights, values, np.empty(0, dtype=np.int64), kernel
+    )
+    assert rounds == 0 and relaxations == 0
+    assert (values == before).all()
+
+
+def test_min_kernel_merge_dense_treats_zero_as_unset():
+    kernel = MinPlusKernel()
+    dense = np.array([5, INF, 3], dtype=np.int64)
+    incoming = np.array([0, 7, 2], dtype=np.int64)
+    assert kernel.merge_dense(dense, incoming).tolist() == [5, 7, 2]
+
+
+# ----------------------------------------------------------------------
+# max-label relaxation (CC)
+# ----------------------------------------------------------------------
+def test_max_label_init_matches_component_label():
+    ids = np.array([0, 1, 7, 123456], dtype=np.int64)
+    labels = MaxLabelKernel().init_values(ids)
+    assert labels.dtype == np.uint64
+    assert labels.tolist() == [component_label(int(v)) for v in ids.tolist()]
+
+
+def test_cc_floods_max_label_per_component():
+    # Two components over dense ids: {0,1,2} and {3,4}.
+    edges = []
+    for a, b in ((0, 1), (1, 2), (3, 4)):
+        edges += [(a, b, 1), (b, a, 1)]
+    indptr, heads, weights = csr_of(edges, 5)
+    kernel = MaxLabelKernel()
+    ids = np.array([10, 11, 12, 20, 21], dtype=np.int64)  # original ids
+    values = kernel.init_values(ids)
+    relax_to_fixpoint(
+        indptr, heads, weights, values, np.arange(5), kernel
+    )
+    left = max(component_label(v) for v in (10, 11, 12))
+    right = max(component_label(v) for v in (20, 21))
+    assert values.tolist() == [left, left, left, right, right]
+
+
+def test_max_label_merge_dense_is_elementwise_max():
+    kernel = MaxLabelKernel()
+    dense = np.array([5, 9], dtype=np.uint64)
+    incoming = np.array([7, 2], dtype=np.uint64)
+    assert kernel.merge_dense(dense, incoming).tolist() == [7, 9]
+
+
+def test_self_loop_does_not_diverge():
+    indptr, heads, weights = csr_of([(0, 0, 1), (0, 1, 1)], 2)
+    kernel = MinPlusKernel(unit_weight=True)
+    values = kernel.init_values(np.arange(2))
+    values[0] = 1
+    rounds, _ = relax_to_fixpoint(
+        indptr, heads, weights, values, np.array([0]), kernel
+    )
+    assert values.tolist() == [1, 2]
+    assert rounds <= 2  # self-relaxation must not loop forever

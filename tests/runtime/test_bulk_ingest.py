@@ -1,0 +1,235 @@
+"""Unit tests of the bulk-ingest machinery: eligibility, de-optimization
+triggers, counters, and the DegAwareRHH array append tier."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CallbackProgram,
+    DynamicEngine,
+    EngineConfig,
+    IncrementalBFS,
+    IncrementalCC,
+    ListEventStream,
+    throughput_report,
+)
+from repro.events.stream import ArrayEventStream, split_streams
+from repro.events.types import ADD, DELETE
+from repro.storage.degaware import DegAwareRHH
+
+
+def workload(seed=0, n_vertices=80, n_events=400):
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n_vertices, n_events, dtype=np.int64)
+    dst = rng.integers(0, n_vertices, n_events, dtype=np.int64)
+    return src, dst
+
+
+def cc_engine(bulk=True, n_ranks=2, bulk_chunk=64, **overrides):
+    return DynamicEngine(
+        [IncrementalCC()],
+        EngineConfig(
+            n_ranks=n_ranks, bulk_ingest=bulk, bulk_chunk=bulk_chunk, **overrides
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# counters and reporting
+# ----------------------------------------------------------------------
+def test_pure_cc_run_is_fully_bulk_with_no_fallback():
+    src, dst = workload()
+    eng = cc_engine(n_ranks=2, bulk_chunk=64)
+    eng.attach_streams(split_streams(src, dst, 2))
+    eng.run()
+    tot = eng.total_counters()
+    assert tot.bulk_events == len(src)
+    assert tot.source_events == len(src)
+    # Each rank drains its 200-event stream in ceil(200/64) = 4 chunks.
+    assert tot.bulk_chunks == 8
+    # No message ever dispatched -> the end-of-run flush is not a
+    # de-optimization and must not count as one.
+    assert tot.fallback_flushes == 0
+    assert eng.state("cc")  # flushed values are observable
+
+
+def test_throughput_report_carries_bulk_counters():
+    src, dst = workload(n_events=100)
+    eng = cc_engine(n_ranks=1, bulk_chunk=32)
+    eng.attach_streams(split_streams(src, dst, 1))
+    eng.run()
+    rep = throughput_report(eng)
+    assert rep.bulk_events == 100
+    assert rep.bulk_chunks == 4
+    assert rep.fallback_flushes == 0
+    assert "bulk ingest:" in rep.summary()
+
+
+def test_per_event_run_reports_zero_bulk_counters():
+    src, dst = workload(n_events=60)
+    eng = cc_engine(bulk=False)
+    eng.attach_streams(split_streams(src, dst, 2))
+    eng.run()
+    rep = throughput_report(eng)
+    assert rep.bulk_chunks == rep.bulk_events == rep.fallback_flushes == 0
+    assert "bulk ingest:" not in rep.summary()
+
+
+def test_init_message_forces_fallback_then_reengages():
+    # BFS needs an INIT visitor; dispatching it while the dense mirror
+    # is ahead must flush (fallback) — and afterwards chunking resumes.
+    src, dst = workload(n_events=600)
+    eng = DynamicEngine(
+        [IncrementalBFS()],
+        EngineConfig(n_ranks=2, bulk_ingest=True, bulk_chunk=32),
+    )
+    eng.init_program("bfs", int(src[0]))
+    eng.attach_streams(split_streams(src, dst, 2))
+    eng.run()
+    tot = eng.total_counters()
+    assert tot.fallback_flushes >= 1
+    assert tot.bulk_events == len(src)
+
+
+# ----------------------------------------------------------------------
+# eligibility and de-optimization
+# ----------------------------------------------------------------------
+def test_trigger_disables_bulk_entirely():
+    src, dst = workload(n_events=120)
+    eng = cc_engine()
+    eng.add_trigger("cc", lambda v, val: True, lambda v, val, t: None, once=False)
+    eng.attach_streams(split_streams(src, dst, 2))
+    eng.run()
+    assert eng.total_counters().bulk_events == 0
+
+    ref = cc_engine(bulk=False)
+    ref.attach_streams(split_streams(src, dst, 2))
+    ref.run()
+    assert eng.state("cc") == ref.state("cc")
+
+
+def test_removed_trigger_restores_eligibility():
+    eng = cc_engine()
+    trig = eng.add_trigger("cc", lambda v, val: True, lambda v, val, t: None)
+    assert not eng._bulk_eligible()
+    assert eng.triggers.remove(trig)
+    assert eng._bulk_eligible()
+
+
+def test_delete_events_in_stream_disable_bulk():
+    events = [(ADD, 0, 1, 1), (ADD, 1, 2, 1), (DELETE, 0, 1, 0), (ADD, 2, 3, 1)]
+    eng = cc_engine(n_ranks=1)
+    eng.attach_streams([ListEventStream(events)])
+    assert not eng._bulk_eligible()
+    eng.run()
+    assert eng.total_counters().bulk_events == 0
+    assert not eng.has_edge(0, 1)
+    assert eng.has_edge(1, 2)
+
+
+def test_delete_kinds_in_array_stream_disable_bulk():
+    kinds = np.array([ADD, DELETE, ADD], dtype=np.int64)
+    s = ArrayEventStream(
+        np.array([0, 0, 1]), np.array([1, 1, 2]), kinds=kinds
+    )
+    assert not s.add_only
+    assert ArrayEventStream(np.array([0]), np.array([1])).add_only
+
+
+def test_injected_timed_events_disable_bulk():
+    src, dst = workload(n_events=80)
+    eng = cc_engine()
+    eng.attach_streams(split_streams(src, dst, 2))
+    assert eng._bulk_eligible()
+    eng.inject_timed_events([(1e-6, ADD, 500, 501, 1)])
+    assert not eng._bulk_eligible()
+    eng.run()
+    assert eng.total_counters().bulk_events == 0
+    assert eng.has_edge(500, 501)
+
+
+def test_program_without_kernel_disables_bulk():
+    degree = CallbackProgram(
+        name="degree",
+        on_add=lambda ctx, vid, val, w: ctx.set_value(ctx.value + 1),
+    )
+    src, dst = workload(n_events=60)
+    eng = DynamicEngine(
+        [IncrementalCC(), degree],
+        EngineConfig(n_ranks=2, bulk_ingest=True),
+    )
+    assert not eng._bulk.supported
+    eng.attach_streams(split_streams(src, dst, 2))
+    eng.run()
+    assert eng.total_counters().bulk_events == 0
+
+
+def test_bulk_chunk_must_be_positive():
+    with pytest.raises(ValueError):
+        EngineConfig(bulk_ingest=True, bulk_chunk=0)
+
+
+def test_bulk_off_has_no_controller():
+    assert cc_engine(bulk=False)._bulk is None
+
+
+# ----------------------------------------------------------------------
+# DegAwareRHH array append tier
+# ----------------------------------------------------------------------
+def test_store_bulk_append_then_lazy_flush_matches_per_event():
+    a = DegAwareRHH(4, "dict")
+    b = DegAwareRHH(4, "dict")
+    src = np.array([1, 1, 2, 1, 3], dtype=np.int64)
+    dst = np.array([2, 3, 4, 2, 1], dtype=np.int64)
+    w = np.array([5, 6, 7, 9, 1], dtype=np.int64)
+    a.bulk_append_edges(src, dst, w)
+    assert a.bulk_pending == 5
+    for s, d, wt in zip(src.tolist(), dst.tolist(), w.tolist()):
+        b.insert_edge(s, d, wt)
+    # Any classic access flushes the buffers through insert_edge replay.
+    assert sorted(a.edges()) == sorted(b.edges())
+    assert a.bulk_pending == 0
+    assert a.num_edges == b.num_edges
+    assert a.edge_weight(1, 2) == 9  # duplicate overwrote the weight
+    assert sorted(a.neighbors(1)) == sorted(b.neighbors(1))
+
+
+def test_store_bulk_pending_arrays_and_delta_csr():
+    s = DegAwareRHH(4, "dict")
+    s.bulk_append_edges(
+        np.array([3, 1, 3], dtype=np.int64),
+        np.array([4, 2, 5], dtype=np.int64),
+        np.array([1, 1, 2], dtype=np.int64),
+    )
+    ps, pd, pw = s.bulk_pending_arrays()
+    assert ps.tolist() == [3, 1, 3]
+    vids, indptr, dsts, weights = s.bulk_delta_csr()
+    assert vids.tolist() == [1, 3]
+    assert indptr.tolist() == [0, 1, 3]
+    assert dsts.tolist() == [2, 4, 5]
+    assert weights.tolist() == [1, 1, 2]
+    assert s.flush_bulk() == 3
+    assert s.flush_bulk() == 0  # idempotent
+    assert s.num_edges == 3
+
+
+def test_store_approx_bytes_counts_pending_without_flushing():
+    s = DegAwareRHH(4, "dict")
+    base = s.approx_bytes()
+    s.bulk_append_edges(
+        np.arange(10, dtype=np.int64),
+        np.arange(10, 20, dtype=np.int64),
+        np.ones(10, dtype=np.int64),
+    )
+    assert s.approx_bytes() > base
+    assert s.bulk_pending == 10  # approx_bytes did not force the flush
+
+
+def test_store_bulk_append_validates_lengths():
+    s = DegAwareRHH(4, "dict")
+    with pytest.raises(ValueError):
+        s.bulk_append_edges(
+            np.array([1, 2], dtype=np.int64),
+            np.array([3], dtype=np.int64),
+            np.array([1], dtype=np.int64),
+        )

@@ -141,3 +141,52 @@ class TestScaleAndStats:
             DegAwareRHH(promote_threshold=0)
         with pytest.raises(ValueError):
             DegAwareRHH(vertex_index="btree")
+
+
+class TestNeighborsArrays:
+    def test_low_degree_tier_borrows_internal_lists(self, store):
+        store.insert_edge(1, 2, 5)
+        store.insert_edge(1, 3, 6)
+        nbrs, weights = store.neighbors_arrays(1)
+        assert list(zip(nbrs, weights)) == sorted(store.neighbors(1))
+        # Borrowed views: repeated calls return the same list objects.
+        again, _ = store.neighbors_arrays(1)
+        assert again is nbrs
+
+    def test_promoted_tier_materialises_parallel_lists(self, store):
+        # Push vertex 7 past the promotion threshold (4).
+        for dst in range(10, 16):
+            store.insert_edge(7, dst, dst * 2)
+        assert store.is_promoted(7)
+        nbrs, weights = store.neighbors_arrays(7)
+        assert len(nbrs) == len(weights) == 6
+        # Pairing is preserved and matches the tuple iterator exactly.
+        assert sorted(zip(nbrs, weights)) == sorted(store.neighbors(7))
+        assert sorted(weights) == [20, 22, 24, 26, 28, 30]
+
+    def test_unknown_vertex_gives_empty_arrays(self, store):
+        assert store.neighbors_arrays(404) == ([], [])
+
+    def test_flushes_bulk_pending_before_reading(self, store):
+        store.bulk_append_edges(
+            np.array([5, 5], dtype=np.int64),
+            np.array([6, 7], dtype=np.int64),
+            np.array([1, 2], dtype=np.int64),
+        )
+        nbrs, weights = store.neighbors_arrays(5)
+        assert sorted(zip(nbrs, weights)) == [(6, 1), (7, 2)]
+        assert store.bulk_pending == 0
+
+
+class TestSlotStrategyBinding:
+    def test_slot_of_bound_once_per_index_strategy(self):
+        # The satellite fix: the vertex-index strategy is resolved at
+        # construction, not string-compared on every lookup.
+        rh = DegAwareRHH(4, "robinhood")
+        dt = DegAwareRHH(4, "dict")
+        assert rh._slot_of.__func__ is DegAwareRHH._slot_of_rhh
+        assert dt._slot_of.__func__ is DegAwareRHH._slot_of_dict
+        rh.insert_edge(1, 2)
+        dt.insert_edge(1, 2)
+        assert rh.degree(1) == dt.degree(1) == 1
+        assert rh._slot_of(99) < 0 and dt._slot_of(99) < 0
