@@ -120,16 +120,12 @@ def test_ablation_squash(benchmark):
                     f"{speedup:.2f}x" if coalesce else "-",
                 ]
             )
+            # Full report via to_dict (single source of truth for the
+            # field list) plus this bench's derived extras.
             json_rows.append(
                 {
-                    "n_ranks": n_ranks,
+                    **run.report.to_dict(),
                     "coalescing": coalesce,
-                    "events_per_second": run.rate,
-                    "makespan": run.makespan,
-                    "updates_squashed": run.report.updates_squashed,
-                    "squash_fraction": run.report.squash_fraction,
-                    "batch_sends": run.report.batch_sends,
-                    "visits": run.report.visits,
                     "speedup_vs_off": speedup if coalesce else 1.0,
                 }
             )

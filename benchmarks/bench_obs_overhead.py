@@ -1,0 +1,157 @@
+"""Telemetry overhead: disabled tracing must cost < 3% of a run.
+
+The engine's hot paths (visitor dispatch, stream pull, bulk chunks) are
+instrumented with inline guards — one attribute load plus an identity
+check (``if self.tracer is not None``) per emission site.  This bench
+pins the acceptance criterion down two ways:
+
+1. **Guard micro-cost vs per-event cost** — the primary, noise-free
+   measurement.  The cost of one guard is measured directly (an
+   8x-unrolled guard loop over a real disabled engine, minus the same
+   loop empty), multiplied by a deliberately pessimistic guards-per-
+   event budget, and compared against the measured wall cost of one
+   event through the per-event engine.  This isolates exactly what the
+   instrumentation added and must stay under ``MAX_OVERHEAD``.
+2. **Enabled-vs-disabled ratio** — informational context in the table
+   and JSON: what turning the tracer ON costs (expected to be
+   significant — every dispatch then appends an event tuple — which is
+   why telemetry is opt-in).
+
+Emits machine-readable results to ``BENCH_obs_overhead.json``.
+"""
+
+import time
+
+import numpy as np
+
+from conftest import report_table
+from harness import BENCH_SCALE, fmt_table, report_json, run_dynamic
+
+from repro import IncrementalCC
+
+N_EVENTS = 1 << (14 + BENCH_SCALE)
+N_VERTICES = N_EVENTS // 4
+N_NODES = 1
+# Pessimistic guard budget per topology event on the per-event path:
+# source pull (1 site), ADD + REVERSE_ADD dispatch (entry + exit + a
+# metrics check each = 6), plus slack for UPDATE fan-out dispatches.
+GUARDS_PER_EVENT = 12
+MAX_OVERHEAD = 0.03
+
+
+def saturation_stream(seed: int = 7) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, N_VERTICES, N_EVENTS, dtype=np.int64)
+    dst = rng.integers(0, N_VERTICES, N_EVENTS, dtype=np.int64)
+    dst = np.where(dst == src, (dst + 1) % N_VERTICES, dst)
+    return src, dst
+
+
+def _guard_loop(engine, n: int) -> float:
+    """Seconds for ``8 * n`` tracer guards against a real engine."""
+    t0 = time.perf_counter()
+    for _ in range(n):
+        tracer = engine.tracer
+        if tracer is not None:
+            raise AssertionError
+        if tracer is not None:
+            raise AssertionError
+        tracer = engine.tracer
+        if tracer is not None:
+            raise AssertionError
+        if tracer is not None:
+            raise AssertionError
+        tracer = engine.tracer
+        if tracer is not None:
+            raise AssertionError
+        if tracer is not None:
+            raise AssertionError
+        tracer = engine.tracer
+        if tracer is not None:
+            raise AssertionError
+        if tracer is not None:
+            raise AssertionError
+    return time.perf_counter() - t0
+
+
+def _empty_loop(n: int) -> float:
+    t0 = time.perf_counter()
+    for _ in range(n):
+        pass
+    return time.perf_counter() - t0
+
+
+def measure_guard_seconds(engine, n: int = 100_000, rounds: int = 5) -> float:
+    """Best-of-``rounds`` cost of ONE disabled guard, in seconds."""
+    per_guard = []
+    for _ in range(rounds):
+        with_guards = _guard_loop(engine, n)
+        empty = _empty_loop(n)
+        per_guard.append(max(with_guards - empty, 0.0) / (8 * n))
+    return min(per_guard)
+
+
+def _experiment():
+    src, dst = saturation_stream()
+    runs = {}
+    for traced in (False, True):
+        runs[traced] = run_dynamic(src, dst, [IncrementalCC()], N_NODES, trace=traced)
+    guard_s = measure_guard_seconds(runs[False].engine)
+    return runs, guard_s
+
+
+def test_obs_overhead(benchmark):
+    (runs, guard_s) = benchmark.pedantic(_experiment, iterations=1, rounds=1)
+    off, on = runs[False], runs[True]
+
+    # Sanity: both paths did the same simulated work; only the traced
+    # run recorded events.
+    assert on.report.source_events == off.report.source_events == N_EVENTS
+    assert off.engine.tracer is None
+    assert len(on.engine.tracer) > N_EVENTS  # >= one span per event
+
+    per_event_s = off.wall_seconds / off.report.source_events
+    guard_overhead = GUARDS_PER_EVENT * guard_s / per_event_s
+    enabled_ratio = on.wall_seconds / off.wall_seconds
+
+    rows = [
+        ["per-event wall cost", f"{per_event_s * 1e9:.0f} ns"],
+        ["one disabled guard", f"{guard_s * 1e9:.2f} ns"],
+        ["guards budgeted/event", str(GUARDS_PER_EVENT)],
+        ["disabled overhead", f"{guard_overhead:.3%}"],
+        ["ceiling", f"{MAX_OVERHEAD:.0%}"],
+        ["enabled/disabled wall", f"{enabled_ratio:.2f}x"],
+        ["trace events recorded", f"{len(on.engine.tracer):,}"],
+    ]
+    table = fmt_table(
+        ["measure", "value"],
+        rows,
+        title=(
+            f"Telemetry overhead: {N_EVENTS:,} events, CC, "
+            f"{N_NODES} node(s); guard = `if self.tracer is not None`"
+        ),
+    )
+    report_table("obs_overhead", table)
+    report_json(
+        "obs_overhead",
+        {
+            "bench": "obs_overhead",
+            "workload": {"kind": "uniform_random_cc", "events": N_EVENTS},
+            "per_event_wall_seconds": per_event_s,
+            "guard_seconds": guard_s,
+            "guards_per_event": GUARDS_PER_EVENT,
+            "disabled_overhead_fraction": guard_overhead,
+            "max_overhead": MAX_OVERHEAD,
+            "enabled_wall_ratio": enabled_ratio,
+            "disabled_report": off.report.to_dict(),
+            "traced_report": on.report.to_dict(),
+        },
+    )
+
+    # The acceptance criterion: instrumentation left on the hot path
+    # must cost < 3% of a run with telemetry disabled.
+    assert guard_overhead < MAX_OVERHEAD, (
+        f"disabled-telemetry guard overhead {guard_overhead:.2%} exceeds "
+        f"{MAX_OVERHEAD:.0%} ({guard_s * 1e9:.2f} ns/guard x "
+        f"{GUARDS_PER_EVENT}/event vs {per_event_s * 1e9:.0f} ns/event)"
+    )

@@ -71,18 +71,28 @@ def run_dynamic(
     collections: list[float] | None = None,
     undirected: bool = True,
     config_overrides: dict | None = None,
+    trace: bool = False,
+    sample_interval: float | None = None,
 ) -> DynamicRun:
     """Ingest an edge list through the engine at saturation (§V-A).
 
     ``init`` is a list of (program, vertex, payload) triples injected at
     t=0; ``collections`` schedules versioned global-state collections at
     the given virtual times; ``config_overrides`` sets extra
-    :class:`EngineConfig` fields (ablation toggles).
+    :class:`EngineConfig` fields (ablation toggles).  ``trace`` /
+    ``sample_interval`` attach repro.obs telemetry (the run's tracer and
+    registry stay reachable via ``DynamicRun.engine``); both disabled by
+    default so benches pay only the guard checks.
     """
     n_ranks = n_nodes * RANKS_PER_NODE
+    overrides = dict(config_overrides or {})
+    if trace:
+        overrides["trace"] = True
+    if sample_interval is not None:
+        overrides["sample_interval"] = sample_interval
     engine = DynamicEngine(
         programs,
-        EngineConfig(n_ranks=n_ranks, undirected=undirected, **(config_overrides or {})),
+        EngineConfig(n_ranks=n_ranks, undirected=undirected, **overrides),
         cost_model=cost_model(),
     )
     for prog, vertex, payload in init or []:

@@ -8,7 +8,7 @@ cost split.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from repro.util.timers import format_rate, format_seconds
 
@@ -32,6 +32,7 @@ class ThroughputReport:
     bulk_chunks: int = 0  # bulk-ingest chunks drained (fast path)
     bulk_events: int = 0  # events ingested via the bulk path
     fallback_flushes: int = 0  # bulk de-optimizations to per-event
+    bulk_enabled: bool = False  # run was configured with bulk_ingest=True
     wall_seconds: float | None = None
 
     @property
@@ -71,7 +72,15 @@ class ThroughputReport:
             f"({self.squash_fraction:.1%} of emissions) "
             f"batch_sends={self.batch_sends:,}",
         ]
-        if self.bulk_chunks or self.bulk_events or self.fallback_flushes:
+        # The bulk line always prints for a bulk-configured run, even
+        # with all counters at 0: "the fast path never engaged" is
+        # exactly what the user needs to see then.
+        if (
+            self.bulk_enabled
+            or self.bulk_chunks
+            or self.bulk_events
+            or self.fallback_flushes
+        ):
             lines.append(
                 f"  bulk ingest: chunks={self.bulk_chunks:,} "
                 f"events={self.bulk_events:,} "
@@ -82,6 +91,18 @@ class ThroughputReport:
                 f"  simulator wall time: {format_seconds(self.wall_seconds)}"
             )
         return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """Every field plus the derived metrics, JSON-ready.  The
+        benchmark harness and ``repro run --json`` both emit exactly
+        this, so the machine-readable artifact can never drift from the
+        report's fields."""
+        d = asdict(self)
+        d["events_per_second"] = self.events_per_second
+        d["mean_utilisation"] = self.mean_utilisation
+        d["visits_per_event"] = self.visits_per_event
+        d["squash_fraction"] = self.squash_fraction
+        return d
 
 
 def throughput_report(engine, wall_seconds: float | None = None) -> ThroughputReport:
@@ -103,5 +124,6 @@ def throughput_report(engine, wall_seconds: float | None = None) -> ThroughputRe
         bulk_chunks=total.bulk_chunks,
         bulk_events=total.bulk_events,
         fallback_flushes=total.fallback_flushes,
+        bulk_enabled=bool(engine.config.bulk_ingest),
         wall_seconds=wall_seconds,
     )

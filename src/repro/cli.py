@@ -8,6 +8,9 @@ Usage (also available as ``python -m repro``)::
         --snapshot-at 0.5 --verify
     python -m repro generate --graph rmat --scale 14 -o stream.txt
     python -m repro run --input stream.txt --algo bfs --verify
+    python -m repro run --algo bfs --trace trace.json --metrics m.jsonl \
+        --freshness
+    python -m repro report --trace trace.json --metrics m.jsonl
 
 ``run`` generates the requested workload, ingests it at saturation on a
 simulated cluster, optionally takes a versioned global-state snapshot
@@ -74,6 +77,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="take a versioned snapshot at this fraction of the stream",
     )
     run.add_argument("--verify", action="store_true", help="check vs static oracle")
+    run.add_argument("--json", action="store_true",
+                     help="emit the report as one JSON document on stdout "
+                          "(progress chatter moves to stderr)")
+    obs = run.add_argument_group("telemetry (repro.obs)")
+    obs.add_argument("--trace", default=None, metavar="FILE",
+                     help="record a virtual-time trace; .json = Chrome/"
+                          "Perfetto trace_event, .jsonl = compact JSONL")
+    obs.add_argument("--metrics", default=None, metavar="FILE",
+                     help="write sampled time-series metrics as JSONL")
+    obs.add_argument("--sample-interval", type=float, default=None,
+                     metavar="SECONDS",
+                     help="virtual-time sampling period (default: ~1/100 "
+                          "of the estimated makespan when sampling is on)")
+    obs.add_argument("--freshness", action="store_true",
+                     help="probe convergence lag vs the static reference "
+                          "at every sample point (implies sampling)")
+    rep = sub.add_parser(
+        "report", help="render a trace/metrics capture as text tables"
+    )
+    rep.add_argument("--trace", default=None, metavar="FILE",
+                     help="Chrome trace JSON produced by run --trace")
+    rep.add_argument("--metrics", default=None, metavar="FILE",
+                     help="metrics JSONL produced by run --metrics")
     gen = sub.add_parser("generate", help="write a synthetic workload to an edge file")
     gen.add_argument("--graph", choices=GRAPH_CHOICES, default="rmat")
     gen.add_argument("--scale", type=int, default=10)
@@ -132,7 +158,45 @@ def cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _freshness_reference(algo: str, source_info):
+    """The repro.obs.make_reference call matching a CLI algorithm."""
+    from repro.obs import make_reference
+
+    if algo in ("bfs",):
+        return make_reference("bfs", source=source_info)
+    if algo == "det-bfs":
+        return make_reference("bfs", source=source_info, value_of=lambda v: v[0])
+    if algo == "sssp":
+        return make_reference("sssp", source=source_info)
+    if algo == "cc":
+        return make_reference("cc")
+    if algo == "st":
+        return make_reference("st", sources=source_info)
+    return None
+
+
+def _run_mismatches(args, engine, source_info) -> list[str] | None:
+    """Static-oracle check for cmd_run; None = nothing to verify."""
+    if args.algo in ("bfs",):
+        return verify_bfs(engine, "bfs", source_info)
+    if args.algo == "det-bfs":
+        return verify_bfs(engine, "det-bfs", source_info, value_of=lambda v: v[0])
+    if args.algo == "sssp":
+        return verify_sssp(engine, "sssp", source_info)
+    if args.algo == "cc":
+        return verify_cc(engine, "cc")
+    if args.algo == "st":
+        return verify_st(engine, "st", source_info)
+    return None
+
+
 def cmd_run(args: argparse.Namespace) -> int:
+    import functools
+    import json as json_mod
+
+    # In --json mode stdout carries exactly one JSON document; all
+    # human-facing chatter moves to stderr so CI can pipe stdout.
+    chat = functools.partial(print, file=sys.stderr) if args.json else print
     rng = np.random.default_rng(args.seed)
     if args.input is not None:
         reader = read_edge_npz if args.input.endswith(".npz") else read_edge_text
@@ -141,62 +205,134 @@ def cmd_run(args: argparse.Namespace) -> int:
         src = np.array([e[1] for e in events], dtype=np.int64)
         dst = np.array([e[2] for e in events], dtype=np.int64)
         weights = np.array([e[3] for e in events], dtype=np.int64)
-        print(f"input: {args.input}, {len(src):,} events")
+        label = args.input
+        chat(f"input: {args.input}, {len(src):,} events")
     else:
         src, dst, label = _generate(args, rng)
-        print(f"graph: {label}, {len(src):,} edges")
+        chat(f"graph: {label}, {len(src):,} edges")
         weights = pairwise_weights(src, dst, 1, 50) if args.algo == "sssp" else None
 
     programs, init, source_info = _make_programs(args.algo, src, args.sources)
     n_ranks = args.nodes * args.ranks_per_node
+    cost = CostModel(ranks_per_node=args.ranks_per_node)
+    # Estimated makespan (same formula the snapshot scheduler uses):
+    # drives --snapshot-at and the auto sampling period.
+    per_event = cost.stream_pull_cpu + 2 * (
+        cost.edge_insert_cpu + cost.visit_cpu + cost.send_cpu
+    )
+    est = len(src) * per_event / n_ranks
+    want_sampling = (
+        args.metrics is not None
+        or args.freshness
+        or args.sample_interval is not None
+    )
+    sample_interval = args.sample_interval
+    if want_sampling and sample_interval is None:
+        sample_interval = max(est / 100.0, 1e-9)
     engine = DynamicEngine(
         programs,
-        EngineConfig(n_ranks=n_ranks),
-        cost_model=CostModel(ranks_per_node=args.ranks_per_node),
+        EngineConfig(
+            n_ranks=n_ranks,
+            trace=args.trace is not None,
+            sample_interval=sample_interval,
+        ),
+        cost_model=cost,
     )
     for prog, vertex, payload in init:
         engine.init_program(prog, vertex, payload=payload)
     engine.attach_streams(
         split_streams(src, dst, n_ranks, weights=weights, rng=rng)
     )
+    if args.freshness:
+        reference = _freshness_reference(args.algo, source_info)
+        if reference is None or not programs:
+            chat("freshness: nothing to probe for construction-only")
+        else:
+            engine.add_freshness_probe(programs[0].name, reference)
     if args.snapshot_at is not None and programs:
-        cm = engine.cost
-        per_event = cm.stream_pull_cpu + 2 * (
-            cm.edge_insert_cpu + cm.visit_cpu + cm.send_cpu
-        )
-        est = len(src) * per_event / n_ranks
         engine.request_collection(programs[0].name, at_time=args.snapshot_at * est)
 
     with WallTimer() as timer:
         engine.run()
-    print(throughput_report(engine, wall_seconds=timer.elapsed).summary())
+    report = throughput_report(engine, wall_seconds=timer.elapsed)
+    chat(report.summary())
 
     for res in engine.collection_results:
-        print(
+        chat(
             f"snapshot #{res.collection_id}: {res.vertices_collected:,} vertices, "
             f"latency {res.latency * 1e6:.0f}us ({res.probe_waves} probe waves)"
         )
 
+    meta = {
+        "label": label,
+        "algo": args.algo,
+        "n_ranks": n_ranks,
+        "events": int(len(src)),
+        "cost_model": cost.to_dict(),
+    }
+    if args.trace is not None:
+        from repro.obs import write_chrome_trace, write_trace_jsonl
+
+        writer = (
+            write_trace_jsonl if args.trace.endswith(".jsonl") else write_chrome_trace
+        )
+        writer(args.trace, engine.tracer, meta)
+        chat(f"trace: {len(engine.tracer):,} events -> {args.trace}")
+    if args.metrics is not None:
+        from repro.obs import write_metrics_jsonl
+
+        write_metrics_jsonl(args.metrics, engine.metrics, meta)
+        chat(
+            f"metrics: {len(engine.metrics.rows('sample')):,} samples "
+            f"({len(engine.metrics.rows('freshness')):,} freshness rows) "
+            f"-> {args.metrics}"
+        )
+
+    mismatches = _run_mismatches(args, engine, source_info) if args.verify else None
     if args.verify:
-        if args.algo in ("bfs",):
-            mismatches = verify_bfs(engine, "bfs", source_info)
-        elif args.algo == "det-bfs":
-            mismatches = verify_bfs(
-                engine, "det-bfs", source_info, value_of=lambda v: v[0]
+        if mismatches is None:
+            chat("verify: nothing to verify for construction-only")
+        elif mismatches:
+            chat(
+                f"VERIFY FAILED: {len(mismatches)} mismatches, e.g. {mismatches[0]}"
             )
-        elif args.algo == "sssp":
-            mismatches = verify_sssp(engine, "sssp", source_info)
-        elif args.algo == "cc":
-            mismatches = verify_cc(engine, "cc")
-        elif args.algo == "st":
-            mismatches = verify_st(engine, "st", source_info)
         else:
-            print("verify: nothing to verify for construction-only")
-            return 0
-        if mismatches:
-            print(f"VERIFY FAILED: {len(mismatches)} mismatches, e.g. {mismatches[0]}")
-            return 1
-        print("verify: OK (dynamic state equals static oracle)")
+            chat("verify: OK (dynamic state equals static oracle)")
+
+    if args.json:
+        doc = {
+            **{k: v for k, v in meta.items() if k != "cost_model"},
+            "report": report.to_dict(),
+            "collections": [
+                # CollectionResult.prog is the engine's program index;
+                # the document reads better with the name.
+                {**r.to_dict(), "prog": engine.programs[r.prog].name}
+                for r in engine.collection_results
+            ],
+            "verify": {
+                "requested": bool(args.verify),
+                "checked": bool(args.verify) and mismatches is not None,
+                "mismatches": len(mismatches) if mismatches is not None else 0,
+            },
+            "trace_file": args.trace,
+            "metrics_file": args.metrics,
+        }
+        print(json_mod.dumps(doc, indent=2))
+    return 1 if mismatches else 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs import read_jsonl, render_metrics_report, render_trace_report
+
+    if args.trace is None and args.metrics is None:
+        print("report: pass --trace and/or --metrics", file=sys.stderr)
+        return 2
+    sections = []
+    if args.trace is not None:
+        sections.append(render_trace_report(args.trace))
+    if args.metrics is not None:
+        sections.append(render_metrics_report(read_jsonl(args.metrics)))
+    print("\n\n".join(sections))
     return 0
 
 
@@ -204,6 +340,8 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
         return cmd_run(args)
+    if args.command == "report":
+        return cmd_report(args)
     if args.command == "generate":
         return cmd_generate(args)
     raise AssertionError("unreachable")  # pragma: no cover

@@ -28,7 +28,7 @@ traversal over the dynamic structure lacks (``dynamic_read_penalty``).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 
 from repro.util.validate import check_non_negative, check_positive
 
@@ -151,6 +151,15 @@ class CostModel:
     def with_overrides(self, **kwargs) -> "CostModel":
         """A copy with selected constants replaced (for ablations)."""
         return replace(self, **kwargs)
+
+    def to_dict(self) -> dict:
+        """JSON-safe constants (trace/metrics file metadata); the
+        unbounded memory budget maps to None since IEEE inf is not
+        valid JSON."""
+        d = asdict(self)
+        if d["rank_memory_bytes"] == float("inf"):
+            d["rank_memory_bytes"] = None
+        return d
 
     def static_traversal_time(
         self, vertex_visits: int, edge_scans: int, n_ranks: int, on_dynamic: bool = False

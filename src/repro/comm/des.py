@@ -336,6 +336,21 @@ class DiscreteEventLoop:
         """
         heapq.heappush(self._alarms, (time, self._next_seq(), callback))
 
+    # ------------------------------------------------------------------
+    # queue introspection (telemetry sampling; never mutates state)
+    # ------------------------------------------------------------------
+    def inbox_depth(self, rank: int) -> int:
+        """Queued data-lane messages awaiting dispatch at ``rank``."""
+        return len(self._inbox[rank])
+
+    def prio_depth(self, rank: int) -> int:
+        """Queued control-lane messages awaiting dispatch at ``rank``."""
+        return len(self._inbox_prio[rank])
+
+    def coalesce_depth(self, rank: int) -> int:
+        """Pending messages at ``rank`` still open for squashing."""
+        return len(self._coalesce[rank])
+
     def set_source_active(self, rank: int, active: bool) -> None:
         """(De)activate a rank's source stream (engine wiring)."""
         self._source_active[rank] = bool(active)

@@ -1,0 +1,56 @@
+"""Opt-in telemetry for the simulated engine: tracing, metrics, freshness.
+
+Three layers, all keyed to **virtual time** so captures are
+deterministic and comparable across runs:
+
+* :class:`Tracer` — span/instant/counter events in the Chrome
+  ``trace_event`` model (one "process" per rank); export via
+  :func:`write_chrome_trace` opens directly in Perfetto.
+* :class:`MetricsRegistry` + :class:`VirtualTimeSampler` — periodic
+  samples of queue depths, topology size, busy fractions, per-program
+  visit counts, exported as JSONL time series.
+* :class:`FreshnessProbe` — convergence-lag measurement: live program
+  state vs the static reference on the ingested prefix, per sample.
+
+Everything is off by default; the engine pays one ``is not None`` check
+per guarded emission when disabled (asserted <3% by
+``benchmarks/bench_obs_overhead.py``).
+"""
+
+from repro.obs.export import (
+    chrome_trace_dict,
+    read_jsonl,
+    render_metrics_report,
+    render_trace_report,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_metrics_jsonl,
+    write_trace_jsonl,
+)
+from repro.obs.freshness import FreshnessProbe, make_reference
+from repro.obs.registry import (
+    DEFAULT_BOUNDS_US,
+    Histogram,
+    MetricsRegistry,
+    VirtualTimeSampler,
+)
+from repro.obs.tracer import BUSY_CATEGORIES, Tracer
+
+__all__ = [
+    "BUSY_CATEGORIES",
+    "DEFAULT_BOUNDS_US",
+    "FreshnessProbe",
+    "Histogram",
+    "MetricsRegistry",
+    "Tracer",
+    "VirtualTimeSampler",
+    "chrome_trace_dict",
+    "make_reference",
+    "read_jsonl",
+    "render_metrics_report",
+    "render_trace_report",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_metrics_jsonl",
+    "write_trace_jsonl",
+]

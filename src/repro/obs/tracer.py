@@ -1,0 +1,135 @@
+"""Structured tracing of the simulated cluster over **virtual time**.
+
+The engine's execution is a sequence of per-rank actions at virtual
+instants (the DES clock); a trace is that sequence made visible.  The
+:class:`Tracer` records three primitive shapes, modelled directly on
+the Chrome ``trace_event`` format so a capture opens unmodified in
+Perfetto / ``chrome://tracing``:
+
+* **spans** — an interval of one rank's clock (a visitor dispatch, a
+  control-message handling, a bulk chunk, a whole collection);
+* **instants** — a point event (collection cut, probe wave,
+  bulk de-optimization);
+* **counters** — sampled numeric series (queue depth, busy fraction),
+  rendered by Perfetto as per-process line charts.
+
+Mapping to the trace-event model: each simulated **rank is one
+"process"** (``pid = rank``) with a single thread, and timestamps are
+**virtual seconds scaled to microseconds** — what the timeline shows is
+the cost model's schedule, not wall time.  Export lives in
+:mod:`repro.obs.export`.
+
+The tracer is deliberately dumb and allocation-light: emit calls append
+one tuple to a list.  All policy (what to emit, how to guard the hot
+path) belongs to the emitting layer — the engine guards every emission
+behind ``if tracer is not None`` so a disabled tracer costs one
+attribute load + identity check per dispatch.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+# Event tuple layout: (phase, rank, name, category, ts, dur, args)
+# phase is a Chrome ph code: "X" complete span, "i" instant, "C" counter.
+PH_SPAN = "X"
+PH_INSTANT = "i"
+PH_COUNTER = "C"
+
+#: Categories whose spans represent rank CPU occupancy.  Aggregations
+#: that compare span time against ``RankCounters.busy_time`` must use
+#: exactly these, because e.g. "collection" spans wrap entire
+#: cut-to-harvest epochs and overlap the operational spans inside them.
+BUSY_CATEGORIES = ("visit", "ctrl", "source", "bulk")
+
+
+class Tracer:
+    """Append-only recorder of virtual-time trace events."""
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        self.events: list[tuple] = []
+
+    # ------------------------------------------------------------------
+    # emission primitives
+    # ------------------------------------------------------------------
+    def span(
+        self,
+        rank: int,
+        name: str,
+        t0: float,
+        t1: float,
+        cat: str = "engine",
+        args: dict[str, Any] | None = None,
+    ) -> None:
+        """Record a complete span of ``rank``'s clock from ``t0`` to
+        ``t1`` (virtual seconds)."""
+        self.events.append((PH_SPAN, rank, name, cat, t0, t1 - t0, args))
+
+    def instant(
+        self,
+        rank: int,
+        name: str,
+        ts: float,
+        cat: str = "engine",
+        args: dict[str, Any] | None = None,
+    ) -> None:
+        """Record a point event on ``rank``'s track."""
+        self.events.append((PH_INSTANT, rank, name, cat, ts, 0.0, args))
+
+    def counter(
+        self, rank: int, name: str, ts: float, values: dict[str, float]
+    ) -> None:
+        """Record sampled counter values (one multi-series chart per
+        ``(rank, name)`` in Perfetto)."""
+        self.events.append((PH_COUNTER, rank, name, "metrics", ts, 0.0, values))
+
+    # ------------------------------------------------------------------
+    # aggregation (tests, the `report` subcommand)
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def ranks(self) -> list[int]:
+        return sorted({ev[1] for ev in self.events})
+
+    def spans(self, cats: Iterable[str] | None = None) -> list[tuple]:
+        cats = None if cats is None else set(cats)
+        return [
+            ev
+            for ev in self.events
+            if ev[0] == PH_SPAN and (cats is None or ev[3] in cats)
+        ]
+
+    def span_time_by_rank(
+        self, cats: Iterable[str] | None = BUSY_CATEGORIES
+    ) -> dict[int, float]:
+        """Total span duration (virtual seconds) per rank.
+
+        Defaults to :data:`BUSY_CATEGORIES` — the non-overlapping
+        operational spans — so the result is directly comparable to
+        ``RankCounters.busy_time`` (see the 99%-coverage acceptance
+        test).
+        """
+        out: dict[int, float] = {}
+        for ev in self.spans(cats):
+            out[ev[1]] = out.get(ev[1], 0.0) + ev[5]
+        return out
+
+    def span_time_by_name(
+        self, cats: Iterable[str] | None = None
+    ) -> dict[str, tuple[int, float]]:
+        """``name -> (count, total virtual seconds)`` over all ranks."""
+        out: dict[str, tuple[int, float]] = {}
+        for ev in self.spans(cats):
+            count, total = out.get(ev[2], (0, 0.0))
+            out[ev[2]] = (count + 1, total + ev[5])
+        return out
+
+    def instants(self, name: str | None = None) -> list[tuple]:
+        return [
+            ev
+            for ev in self.events
+            if ev[0] == PH_INSTANT and (name is None or ev[2] == name)
+        ]

@@ -204,6 +204,9 @@ class BulkIngestor:
         n = len(src)
         if n == 0:
             return 0
+        tracer = eng.tracer
+        if tracer is not None:
+            t0 = eng.loop.clock[rank]
         self._sync()
         counters = eng.counters[rank]
         counters.source_events += n
@@ -256,11 +259,25 @@ class BulkIngestor:
             rank,
             n * eng.cost.stream_pull_cpu + total_relax * eng.cost.visit_discard_cpu,
         )
+        if tracer is not None:
+            # The owner-rank append charges inside _append_to_stores got
+            # their own "bulk/append" spans; this span covers the
+            # ingesting rank's whole chunk window (appends to its own
+            # store nest inside it).
+            tracer.span(
+                rank,
+                "bulk/chunk",
+                t0,
+                eng.loop.clock[rank],
+                "bulk",
+                {"events": n, "relaxations": total_relax},
+            )
         self.engaged = True
         return n
 
     def _append_to_stores(self, srcs, dsts, ws) -> None:
         eng = self.engine
+        tracer = eng.tracer
         owners = eng.partitioner.owner_array(srcs)
         counts = np.bincount(owners, minlength=eng.config.n_ranks)
         for r in np.nonzero(counts)[0]:
@@ -272,7 +289,18 @@ class BulkIngestor:
             if eng.cost.rank_memory_bytes != float("inf"):
                 frac = eng.cost.spill_fraction(store.approx_bytes())
                 cpu += int(counts[r]) * frac * eng.cost.nvram_access_cpu
+            if tracer is not None:
+                a0 = eng.loop.clock[r]
             eng._charge(r, cpu)
+            if tracer is not None:
+                tracer.span(
+                    r,
+                    "bulk/append",
+                    a0,
+                    eng.loop.clock[r],
+                    "bulk",
+                    {"edges": int(counts[r])},
+                )
 
     def _merge_edges(
         self, tails: np.ndarray, heads: np.ndarray, wts: np.ndarray
@@ -317,6 +345,15 @@ class BulkIngestor:
         """Exactness barrier: flush dense values back into the per-rank
         dicts so per-event processing resumes on exact state.  Counted
         in ``fallback_flushes``."""
+        if self.engaged:
+            eng = self.engine
+            if eng.tracer is not None:
+                coord = eng.config.coordinator_rank
+                eng.tracer.instant(
+                    coord, "bulk/deopt", eng.loop.now(coord), "bulk"
+                )
+            if eng.metrics is not None:
+                eng.metrics.inc("bulk_deopts")
         self.flush_values(count_fallback=True)
 
     def flush_values(self, count_fallback: bool = True) -> None:

@@ -49,6 +49,24 @@ from repro.runtime.visitor import (
 from repro.storage.degaware import DegAwareRHH
 from repro.util.validate import check_non_negative, check_positive
 
+# Trace span names per dispatched message type (repro.obs).  The "cat"
+# is what busy-coverage aggregation keys on (see BUSY_CATEGORIES).
+_VT_SPAN_NAMES = {
+    VT_UPDATE: "visit/update",
+    VT_ADD: "visit/add",
+    VT_RADD: "visit/radd",
+    VT_INIT: "visit/init",
+    VT_DEL: "visit/del",
+    VT_RDEL: "visit/rdel",
+}
+_CTRL_SPAN_NAMES = {
+    CTRL_CUT: "ctrl/cut",
+    CTRL_PROBE: "ctrl/probe",
+    CTRL_REPORT: "ctrl/report",
+    CTRL_HARVEST: "ctrl/harvest",
+    CTRL_PART: "ctrl/part",
+}
+
 
 @dataclass(frozen=True)
 class EngineConfig:
@@ -75,12 +93,21 @@ class EngineConfig:
     # moment any of those conditions breaks.  See repro.runtime.bulk.
     bulk_ingest: bool = False
     bulk_chunk: int = 8192
+    # Telemetry (repro.obs): ``trace`` attaches a Tracer recording
+    # span/instant events from every dispatch; ``sample_interval``
+    # attaches a MetricsRegistry + VirtualTimeSampler firing every that
+    # many virtual seconds.  Both OFF by default — the disabled cost is
+    # one ``is not None`` check per guarded emission site.
+    trace: bool = False
+    sample_interval: float | None = None
 
     def __post_init__(self) -> None:
         check_positive("n_ranks", self.n_ranks)
         check_positive("promote_threshold", self.promote_threshold)
         check_non_negative("probe_backoff", self.probe_backoff)
         check_positive("bulk_chunk", self.bulk_chunk)
+        if self.sample_interval is not None:
+            check_positive("sample_interval", self.sample_interval)
         if not 0 <= self.coordinator_rank < self.n_ranks:
             raise ValueError("coordinator_rank out of range")
 
@@ -183,6 +210,28 @@ class DynamicEngine(RankHandler):
             self._bulk: BulkIngestor | None = BulkIngestor(self)
         else:
             self._bulk = None
+        # Telemetry (repro.obs).  _prog_visits is always-on (a bare list
+        # increment per callback); tracer/metrics/sampler exist only
+        # when configured, and every hot-path emission is guarded by an
+        # inline ``if tracer is not None`` at the call site.
+        self._prog_visits = [0] * len(programs)
+        if self.config.trace:
+            from repro.obs.tracer import Tracer
+
+            self.tracer: Tracer | None = Tracer()
+        else:
+            self.tracer = None
+        if self.config.sample_interval is not None:
+            from repro.obs.registry import MetricsRegistry, VirtualTimeSampler
+
+            self.metrics: MetricsRegistry | None = MetricsRegistry()
+            self.sampler: VirtualTimeSampler | None = VirtualTimeSampler(
+                self, self.metrics, self.config.sample_interval
+            )
+            self.sampler.schedule()
+        else:
+            self.metrics = None
+            self.sampler = None
         for r in range(n):
             self.loop.set_source_active(r, False)
 
@@ -359,6 +408,28 @@ class DynamicEngine(RankHandler):
         for store in self.stores:
             yield from store.edges()
 
+    def add_freshness_probe(self, prog: int | str, reference_fn) -> None:
+        """Watch a program's convergence lag (repro.obs.freshness).
+
+        ``reference_fn(engine, prog_name)`` must return the current
+        live-vs-static mismatch list (the ``repro.analytics.verify``
+        contract; build one with :func:`repro.obs.make_reference`).
+        Requires the virtual-time sampler — configure
+        ``EngineConfig(sample_interval=...)`` first — because lag is
+        measured at sample instants.
+        """
+        if self.sampler is None:
+            raise RuntimeError(
+                "freshness probes ride the virtual-time sampler; "
+                "configure EngineConfig(sample_interval=...) first"
+            )
+        if self.sampler.freshness is None:
+            from repro.obs.freshness import FreshnessProbe
+
+            self.sampler.freshness = FreshnessProbe(self)
+        name = self.programs[self.prog_index(prog)].name
+        self.sampler.freshness.watch(name, reference_fn)
+
     def total_counters(self) -> RankCounters:
         total = RankCounters()
         for c in self.counters:
@@ -415,6 +486,14 @@ class DynamicEngine(RankHandler):
         self._next_collection_id += 1
         self.active_collection = col
         coord = self.config.coordinator_rank
+        if self.tracer is not None:
+            self.tracer.instant(
+                coord,
+                "collection/cut",
+                requested_at,
+                "collection",
+                {"id": col.collection_id, "version": cut},
+            )
         wave = col.detector.start_wave()
         for r in range(self.config.n_ranks):
             self.loop.send_at(
@@ -465,6 +544,9 @@ class DynamicEngine(RankHandler):
         if stream is None:
             self._stream_done[rank] = True
             return False
+        tracer = self.tracer
+        if tracer is not None:
+            t0 = loop.clock[rank]
         ev = stream.pull()
         if ev is None:
             self._stream_done[rank] = True
@@ -488,12 +570,18 @@ class DynamicEngine(RankHandler):
         else:
             msg = (VT_DEL, src, dst, ver)
         self._send_visitor(rank, owner, msg, ver)
+        if tracer is not None:
+            tracer.span(rank, "source/pull", t0, loop.clock[rank], "source")
         return True
 
     # ------------------------------------------------------------------
     # RankHandler: visitor dispatch (Alg. 3's VISIT switch)
     # ------------------------------------------------------------------
     def on_message(self, loop: DiscreteEventLoop, rank: int, msg: tuple) -> None:
+        tracer = self.tracer
+        metrics = self.metrics
+        if tracer is not None or metrics is not None:
+            t0 = loop.clock[rank]
         b = self._bulk
         if b is not None and b.engaged:
             # Any per-event dispatch (visitor or control) while the
@@ -596,6 +684,18 @@ class DynamicEngine(RankHandler):
             self._on_control(rank, msg)
         else:  # pragma: no cover - corrupted message
             raise ValueError(f"unknown visitor type in {msg!r}")
+        if tracer is not None or metrics is not None:
+            t1 = loop.clock[rank]
+            if tracer is not None:
+                if vt == VT_CTRL:
+                    name, cat = _CTRL_SPAN_NAMES.get(msg[1], "ctrl/?"), "ctrl"
+                else:
+                    name, cat = _VT_SPAN_NAMES.get(vt, "visit/?"), "visit"
+                tracer.span(rank, name, t0, t1, cat)
+            if metrics is not None:
+                metrics.histogram("dispatch_virtual_us").observe(
+                    (t1 - t0) * 1e6
+                )
 
     # ------------------------------------------------------------------
     # topology application
@@ -639,6 +739,7 @@ class DynamicEngine(RankHandler):
         ctx.vertex = vertex
         ctx.time = self.loop.now(rank)
         self.counters[rank].visits += 1
+        self._prog_visits[prog] += 1
         program = self.programs[prog]
         fn = getattr(program, cb)
         # Effect-dependent charging: a callback that neither writes nor
@@ -963,7 +1064,18 @@ class DynamicEngine(RankHandler):
             col.detector.report(wave, src_rank, sent, recv, idle)
             if not col.detector.wave_complete():
                 return
-            if col.detector.conclude():
+            # conclude() is call-once per wave: capture the verdict so
+            # the trace instant and the branch read the same result.
+            concluded = col.detector.conclude()
+            if self.tracer is not None:
+                self.tracer.instant(
+                    rank,
+                    "probe/wave",
+                    self.loop.now(rank),
+                    "collection",
+                    {"id": col_id, "wave": wave, "concluded": concluded},
+                )
+            if concluded:
                 for r in range(self.config.n_ranks):
                     self.loop.send(
                         rank, r, (VT_CTRL, CTRL_HARVEST, col_id, col.prog), priority=True
@@ -1009,6 +1121,27 @@ class DynamicEngine(RankHandler):
                     vertices_collected=len(merged),
                 )
                 self.collection_results.append(result)
+                if self.tracer is not None:
+                    # cat "collection" (not a BUSY_CATEGORY): the epoch
+                    # overlaps the ctrl/visit spans running inside it.
+                    self.tracer.span(
+                        rank,
+                        "collection/epoch",
+                        col.requested_at,
+                        result.completed_at,
+                        "collection",
+                        {
+                            "id": result.collection_id,
+                            "prog": self.programs[col.prog].name,
+                            "probe_waves": result.probe_waves,
+                            "vertices": result.vertices_collected,
+                        },
+                    )
+                if self.metrics is not None:
+                    self.metrics.inc("collections")
+                    self.metrics.histogram("collection_latency_us").observe(
+                        result.latency * 1e6
+                    )
                 self.active_collection = None
                 if col.callback is not None:
                     col.callback(result)

@@ -46,6 +46,23 @@ class CollectionResult:
         """Request-to-collected latency — the Fig. 4 left-bar metric."""
         return self.completed_at - self.requested_at
 
+    def to_dict(self, include_state: bool = False) -> dict[str, Any]:
+        """JSON-safe summary; the (potentially huge) vertex state map is
+        excluded unless asked for."""
+        d = {
+            "collection_id": self.collection_id,
+            "prog": self.prog,
+            "cut_version": self.cut_version,
+            "requested_at": self.requested_at,
+            "completed_at": self.completed_at,
+            "latency": self.latency,
+            "probe_waves": self.probe_waves,
+            "vertices_collected": self.vertices_collected,
+        }
+        if include_state:
+            d["state"] = dict(self.state)
+        return d
+
 
 @dataclass
 class ActiveCollection:

@@ -159,6 +159,20 @@ class DegAwareRHH:
             self._flush_pending()
         return self._num_edges
 
+    # -- no-flush observation (telemetry sampling) ---------------------
+    # The exact properties above materialise pending bulk appends, which
+    # would make the act of sampling de-facto disable the bulk fast
+    # path's laziness.  These stay O(1) and never touch the buffers:
+    # edge count is exact up to within-buffer duplicates, vertex count
+    # excludes vertices seen only in pending appends.
+    @property
+    def approx_num_edges(self) -> int:
+        return self._num_edges + self._pending_count
+
+    @property
+    def approx_num_vertices(self) -> int:
+        return len(self._vids)
+
     # ------------------------------------------------------------------
     # bulk-ingest tier (array append buffers + CSR-delta view)
     # ------------------------------------------------------------------

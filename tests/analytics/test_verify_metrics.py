@@ -1,5 +1,8 @@
 """Tests for the verification helpers and throughput metrics."""
 
+import dataclasses
+import json
+
 import numpy as np
 import pytest
 
@@ -10,6 +13,7 @@ from repro import (
     IncrementalCC,
     ListEventStream,
 )
+from repro.analytics.metrics import ThroughputReport
 from repro.analytics import (
     csr_from_engine,
     throughput_report,
@@ -103,3 +107,78 @@ class TestThroughputReport:
         rep = throughput_report(e)
         assert rep.events_per_second == 0.0
         assert rep.visits_per_event == 0.0
+
+
+def make_report(**overrides):
+    base = dict(
+        n_ranks=2,
+        source_events=10,
+        makespan=1.0,
+        visits=20,
+        edge_inserts=10,
+        edge_deletes=0,
+        messages_local=5,
+        messages_remote=5,
+        control_messages=0,
+        busy_time_total=1.0,
+    )
+    base.update(overrides)
+    return ThroughputReport(**base)
+
+
+class TestThroughputReportEdgeCases:
+    def test_zero_makespan_rates_are_zero(self):
+        rep = make_report(makespan=0.0, source_events=0, visits=0,
+                          busy_time_total=0.0)
+        assert rep.events_per_second == 0.0
+        assert rep.mean_utilisation == 0.0
+        assert rep.visits_per_event == 0.0
+
+    def test_zero_ranks_utilisation_is_zero(self):
+        assert make_report(n_ranks=0).mean_utilisation == 0.0
+
+    def test_squash_fraction_zero_without_emissions(self):
+        rep = make_report(messages_local=0, messages_remote=0)
+        assert rep.squash_fraction == 0.0
+
+    def test_bulk_line_printed_when_enabled_even_with_zero_counters(self):
+        # "the fast path never engaged" is itself the signal: a run
+        # configured with bulk_ingest=True must always show the line.
+        text = make_report(bulk_enabled=True).summary()
+        assert "bulk ingest: chunks=0" in text
+
+    def test_bulk_line_suppressed_when_disabled_and_idle(self):
+        assert "bulk ingest" not in make_report().summary()
+
+    def test_bulk_line_printed_when_counters_moved(self):
+        text = make_report(bulk_chunks=3, bulk_events=9).summary()
+        assert "chunks=3" in text and "events=9" in text
+
+    def test_no_wall_line_without_wall_seconds(self):
+        assert "wall time" not in make_report().summary()
+
+
+class TestThroughputReportToDict:
+    def test_every_field_and_derived_metric_present(self):
+        # Reflection guard: to_dict is the single source of truth for
+        # the bench JSON and `run --json`; a new field must show up.
+        rep = make_report(wall_seconds=0.5)
+        d = rep.to_dict()
+        for f in dataclasses.fields(ThroughputReport):
+            assert f.name in d, f.name
+            assert d[f.name] == getattr(rep, f.name)
+        for derived in ("events_per_second", "mean_utilisation",
+                        "visits_per_event", "squash_fraction"):
+            assert d[derived] == getattr(rep, derived)
+
+    def test_json_ready(self):
+        json.dumps(make_report().to_dict())
+
+    def test_engine_report_marks_bulk_enabled(self):
+        src = [(ADD, i, i + 1, 1) for i in range(8)]
+        e = DynamicEngine([IncrementalCC()], EngineConfig(n_ranks=1, bulk_ingest=True))
+        e.attach_streams([ListEventStream(src)])
+        e.run()
+        rep = throughput_report(e)
+        assert rep.bulk_enabled is True
+        assert "bulk ingest" in rep.summary()

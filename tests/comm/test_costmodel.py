@@ -1,5 +1,8 @@
 """Tests for the virtual-time cost model."""
 
+import dataclasses
+import json
+
 import pytest
 
 from repro.comm.costmodel import CostModel, RankCounters
@@ -70,3 +73,27 @@ class TestRankCounters:
         c = RankCounters()
         assert c.source_events == 0
         assert c.busy_time == 0.0
+
+    def test_merge_covers_every_field(self):
+        # Reflection guard: adding a counter field without extending
+        # merge() silently drops it from total_counters(); this fails
+        # the moment a field stops being summed.
+        flds = dataclasses.fields(RankCounters)
+        a = RankCounters(**{f.name: i + 1 for i, f in enumerate(flds)})
+        b = RankCounters(**{f.name: 100 * (i + 1) for i, f in enumerate(flds)})
+        m = a.merge(b)
+        for i, f in enumerate(flds):
+            assert getattr(m, f.name) == 101 * (i + 1), f.name
+
+
+class TestCostModelToDict:
+    def test_json_ready(self):
+        d = CostModel().to_dict()
+        assert d["ranks_per_node"] == CostModel().ranks_per_node
+        # inf is not valid JSON; the unbounded-memory default maps to None.
+        assert d["rank_memory_bytes"] is None
+        json.dumps(d)
+
+    def test_finite_memory_preserved(self):
+        d = CostModel(rank_memory_bytes=1024.0).to_dict()
+        assert d["rank_memory_bytes"] == 1024.0

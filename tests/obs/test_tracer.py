@@ -1,0 +1,82 @@
+"""Unit tests for the Tracer primitives and aggregations."""
+
+from repro.obs import BUSY_CATEGORIES, Tracer
+from repro.obs.tracer import PH_COUNTER, PH_INSTANT, PH_SPAN
+
+
+def sample_tracer() -> Tracer:
+    t = Tracer()
+    t.span(0, "visit/add", 1.0, 3.0, "visit")
+    t.span(0, "visit/add", 5.0, 6.0, "visit", args={"v": 7})
+    t.span(1, "ctrl/probe", 2.0, 2.5, "ctrl")
+    t.span(0, "collection/epoch", 0.0, 10.0, "collection")
+    t.instant(1, "collection/cut", 4.0, args={"id": 0})
+    t.instant(0, "bulk/deopt", 4.5, "bulk")
+    t.counter(1, "queues", 4.0, {"data": 3.0})
+    return t
+
+
+class TestPrimitives:
+    def test_span_tuple_layout(self):
+        t = Tracer()
+        t.span(2, "visit/update", 1.5, 4.0, "visit", args={"v": 9})
+        ph, rank, name, cat, ts, dur, args = t.events[0]
+        assert ph == PH_SPAN
+        assert (rank, name, cat) == (2, "visit/update", "visit")
+        assert ts == 1.5
+        assert dur == 2.5
+        assert args == {"v": 9}
+
+    def test_instant_has_zero_duration(self):
+        t = Tracer()
+        t.instant(0, "probe/wave", 3.0)
+        ph, _, _, cat, ts, dur, args = t.events[0]
+        assert ph == PH_INSTANT
+        assert cat == "engine"  # default category
+        assert (ts, dur, args) == (3.0, 0.0, None)
+
+    def test_counter_carries_values_dict(self):
+        t = Tracer()
+        t.counter(1, "queues", 2.0, {"data": 4.0, "prio": 1.0})
+        ph, rank, name, cat, _, _, values = t.events[0]
+        assert ph == PH_COUNTER
+        assert (rank, name, cat) == (1, "queues", "metrics")
+        assert values == {"data": 4.0, "prio": 1.0}
+
+    def test_len_counts_all_events(self):
+        assert len(sample_tracer()) == 7
+
+
+class TestAggregation:
+    def test_ranks_sorted_unique(self):
+        assert sample_tracer().ranks() == [0, 1]
+
+    def test_spans_filter_by_category(self):
+        t = sample_tracer()
+        assert len(t.spans()) == 4
+        assert len(t.spans(["visit"])) == 2
+        assert len(t.spans(["visit", "ctrl"])) == 3
+
+    def test_span_time_by_rank_defaults_to_busy_categories(self):
+        # The 10s "collection" epoch wraps the spans inside it; counting
+        # it against busy time would double-count, so the default cats
+        # must exclude it.
+        assert "collection" not in BUSY_CATEGORIES
+        by_rank = sample_tracer().span_time_by_rank()
+        assert by_rank == {0: 3.0, 1: 0.5}
+
+    def test_span_time_by_rank_all_categories(self):
+        by_rank = sample_tracer().span_time_by_rank(cats=None)
+        assert by_rank[0] == 13.0  # collection epoch included
+
+    def test_span_time_by_name(self):
+        by_name = sample_tracer().span_time_by_name()
+        assert by_name["visit/add"] == (2, 3.0)
+        assert by_name["ctrl/probe"] == (1, 0.5)
+
+    def test_instants_optionally_filtered_by_name(self):
+        t = sample_tracer()
+        assert len(t.instants()) == 2
+        cuts = t.instants("collection/cut")
+        assert len(cuts) == 1
+        assert cuts[0][6] == {"id": 0}
