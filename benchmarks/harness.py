@@ -73,6 +73,7 @@ def run_dynamic(
     config_overrides: dict | None = None,
     trace: bool = False,
     sample_interval: float | None = None,
+    fault_plan=None,
 ) -> DynamicRun:
     """Ingest an edge list through the engine at saturation (§V-A).
 
@@ -82,7 +83,9 @@ def run_dynamic(
     :class:`EngineConfig` fields (ablation toggles).  ``trace`` /
     ``sample_interval`` attach repro.obs telemetry (the run's tracer and
     registry stay reachable via ``DynamicRun.engine``); both disabled by
-    default so benches pay only the guard checks.
+    default so benches pay only the guard checks.  ``fault_plan``
+    attaches the reliable transport (repro.faults) before any message
+    moves.
     """
     n_ranks = n_nodes * RANKS_PER_NODE
     overrides = dict(config_overrides or {})
@@ -95,6 +98,8 @@ def run_dynamic(
         EngineConfig(n_ranks=n_ranks, undirected=undirected, **overrides),
         cost_model=cost_model(),
     )
+    if fault_plan is not None:
+        engine.enable_faults(fault_plan)
     for prog, vertex, payload in init or []:
         engine.init_program(prog, vertex, payload=payload)
     rng = None if shuffle_seed is None else np.random.default_rng(shuffle_seed)

@@ -53,6 +53,13 @@ from repro.events import (
     StreamMultiplexer,
     split_streams,
 )
+from repro.faults import (
+    FaultPlan,
+    FaultRunResult,
+    FaultTolerantRunner,
+    RankCrash,
+    RankStall,
+)
 from repro.generators import (
     barabasi_albert_edges,
     erdos_renyi_edges,
@@ -96,6 +103,11 @@ __all__ = [
     "ListEventStream",
     "StreamMultiplexer",
     "split_streams",
+    "FaultPlan",
+    "FaultRunResult",
+    "FaultTolerantRunner",
+    "RankCrash",
+    "RankStall",
     "barabasi_albert_edges",
     "erdos_renyi_edges",
     "generate_preset",

@@ -11,6 +11,8 @@ Usage (also available as ``python -m repro``)::
     python -m repro run --algo bfs --trace trace.json --metrics m.jsonl \
         --freshness
     python -m repro report --trace trace.json --metrics m.jsonl
+    python -m repro run --algo cc --verify \
+        --faults drop=0.1,dup=0.02,crash=0.4 --checkpoint-every 0.2
 
 ``run`` generates the requested workload, ingests it at saturation on a
 simulated cluster, optionally takes a versioned global-state snapshot
@@ -93,6 +95,19 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--freshness", action="store_true",
                      help="probe convergence lag vs the static reference "
                           "at every sample point (implies sampling)")
+    flt = run.add_argument_group("fault injection (repro.faults)")
+    flt.add_argument("--faults", default=None, metavar="SPEC",
+                     help="run under a fault plan, e.g. "
+                          "'drop=0.1,dup=0.02,crash=0.5,seed=7'; crash/stall "
+                          "instants are fractions of the estimated makespan")
+    flt.add_argument("--checkpoint-every", type=float, default=None,
+                     metavar="FRAC",
+                     help="checkpoint period as a fraction of the estimated "
+                          "makespan (without it, a crash rolls back to the "
+                          "start of the stream)")
+    flt.add_argument("--checkpoint-path", default=None, metavar="FILE",
+                     help="where the rolling checkpoint lives "
+                          "(default: a temp file, removed afterwards)")
     rep = sub.add_parser(
         "report", help="render a trace/metrics capture as text tables"
     )
@@ -229,33 +244,125 @@ def cmd_run(args: argparse.Namespace) -> int:
     sample_interval = args.sample_interval
     if want_sampling and sample_interval is None:
         sample_interval = max(est / 100.0, 1e-9)
-    engine = DynamicEngine(
-        programs,
-        EngineConfig(
-            n_ranks=n_ranks,
-            trace=args.trace is not None,
-            sample_interval=sample_interval,
-        ),
-        cost_model=cost,
-    )
-    for prog, vertex, payload in init:
-        engine.init_program(prog, vertex, payload=payload)
-    engine.attach_streams(
-        split_streams(src, dst, n_ranks, weights=weights, rng=rng)
-    )
-    if args.freshness:
-        reference = _freshness_reference(args.algo, source_info)
-        if reference is None or not programs:
-            chat("freshness: nothing to probe for construction-only")
-        else:
-            engine.add_freshness_probe(programs[0].name, reference)
-    if args.snapshot_at is not None and programs:
-        engine.request_collection(programs[0].name, at_time=args.snapshot_at * est)
 
-    with WallTimer() as timer:
-        engine.run()
+    plan = None
+    if args.faults is not None:
+        from repro.faults import FaultPlan
+
+        plan = FaultPlan.from_spec(args.faults, time_scale=est)
+        if plan.crashes and (args.snapshot_at is not None or args.freshness):
+            chat("faults: --snapshot-at/--freshness do not combine with "
+                 "crash plans (the snapshot dies with the incarnation)")
+            return 2
+
+    fault_result = None
+    if plan is not None and plan.crashes:
+        # Crash plans go through the fault-tolerant runner: each
+        # incarnation rebuilds the engine and streams from scratch, so
+        # everything it needs is captured as deterministic factories.
+        import os
+        import tempfile
+
+        from repro.faults import FaultTolerantRunner
+
+        stream_seed = int(rng.integers(2**31))
+
+        def engine_factory():
+            progs, _, _ = _make_programs(args.algo, src, args.sources)
+            return DynamicEngine(
+                progs,
+                EngineConfig(
+                    n_ranks=n_ranks,
+                    trace=args.trace is not None,
+                    sample_interval=sample_interval,
+                ),
+                cost_model=cost,
+            )
+
+        def stream_factory():
+            return split_streams(
+                src, dst, n_ranks, weights=weights,
+                rng=np.random.default_rng(stream_seed),
+            )
+
+        def init_fn(eng):
+            for prog, vertex, payload in init:
+                eng.init_program(prog, vertex, payload=payload)
+
+        ckpt_path = args.checkpoint_path
+        ckpt_tmp = ckpt_path is None
+        if ckpt_tmp:
+            fd, ckpt_path = tempfile.mkstemp(prefix="repro_ckpt_", suffix=".npz")
+            os.close(fd)
+        try:
+            with WallTimer() as timer:
+                fault_result = FaultTolerantRunner(
+                    engine_factory,
+                    stream_factory,
+                    plan,
+                    ckpt_path,
+                    checkpoint_interval=(
+                        args.checkpoint_every * est
+                        if args.checkpoint_every is not None else None
+                    ),
+                    init_fn=init_fn,
+                ).run()
+        finally:
+            if ckpt_tmp and os.path.exists(ckpt_path):
+                os.remove(ckpt_path)
+        engine = fault_result.engine
+    else:
+        engine = DynamicEngine(
+            programs,
+            EngineConfig(
+                n_ranks=n_ranks,
+                trace=args.trace is not None,
+                sample_interval=sample_interval,
+            ),
+            cost_model=cost,
+        )
+        if plan is not None:
+            # Transport must attach before the first message moves.
+            engine.enable_faults(plan)
+        for prog, vertex, payload in init:
+            engine.init_program(prog, vertex, payload=payload)
+        engine.attach_streams(
+            split_streams(src, dst, n_ranks, weights=weights, rng=rng)
+        )
+        if args.freshness:
+            reference = _freshness_reference(args.algo, source_info)
+            if reference is None or not programs:
+                chat("freshness: nothing to probe for construction-only")
+            else:
+                engine.add_freshness_probe(programs[0].name, reference)
+        if args.snapshot_at is not None and programs:
+            engine.request_collection(
+                programs[0].name, at_time=args.snapshot_at * est
+            )
+
+        with WallTimer() as timer:
+            engine.run()
     report = throughput_report(engine, wall_seconds=timer.elapsed)
     chat(report.summary())
+
+    wire = None
+    if plan is not None:
+        wire = (
+            fault_result.wire if fault_result is not None
+            else engine.transport.counters()
+        )
+        line = (
+            f"faults: dropped={wire['frames_dropped']:,} "
+            f"retransmits={wire['retransmits']:,} "
+            f"dup_frames={wire['dup_frames']:,} acks={wire['acks_sent']:,}"
+        )
+        if fault_result is not None:
+            line += (
+                f" | recoveries={fault_result.recoveries}"
+                f" checkpoints={fault_result.checkpoints}"
+                f" replayed={fault_result.events_replayed:,}"
+            )
+        chat(line)
 
     for res in engine.collection_results:
         chat(
@@ -317,6 +424,23 @@ def cmd_run(args: argparse.Namespace) -> int:
             "trace_file": args.trace,
             "metrics_file": args.metrics,
         }
+        if plan is not None:
+            doc["faults"] = {
+                "plan": plan.describe(),
+                "wire": wire,
+                "incarnations": (
+                    fault_result.incarnations if fault_result else 1
+                ),
+                "recoveries": fault_result.recoveries if fault_result else 0,
+                "checkpoints": fault_result.checkpoints if fault_result else 0,
+                "events_replayed": (
+                    fault_result.events_replayed if fault_result else 0
+                ),
+                "virtual_time": (
+                    fault_result.virtual_time if fault_result
+                    else engine.loop.max_time()
+                ),
+            }
         print(json_mod.dumps(doc, indent=2))
     return 1 if mismatches else 0
 

@@ -1,0 +1,344 @@
+"""Reliable delivery over lossy simulated channels.
+
+The DES kernel's channels are perfect by construction: every enqueued
+message arrives, exactly once, in FIFO order.  Fault injection
+(:mod:`repro.faults`) breaks that — frames can be dropped, duplicated or
+delayed in flight — so this module supplies the transport protocol a
+real middleware would run underneath the visitor queues:
+
+* every cross-rank application message is wrapped in a **DATA frame**
+  carrying a per-channel sequence number (a channel is a
+  ``(src, dst, lane)`` triple — data and control lanes are sequenced
+  independently, matching the kernel's two inboxes);
+* the receiver holds a **reorder buffer** per channel and releases
+  application messages strictly in sequence order, deduplicating
+  retransmitted frames — the application above observes exactly-once,
+  FIFO delivery, i.e. exactly the contract the fault-free kernel gives;
+* receivers send **delayed cumulative acks**: one ACK frame per
+  ``ack_delay`` window acknowledges everything that has arrived in
+  order so far (``ack = next_expected``).  Acks are themselves
+  unreliable — a lost ack merely provokes a retransmission, whose
+  duplicate re-arms the ack timer;
+* frame handling happens at **wire arrival** (on the kernel's alarm
+  queue), modelling a NIC/progress engine: dedup, reordering and ack
+  scheduling do not wait for the receiving rank to drain its visitor
+  backlog, so ack turnaround — and hence the retransmit timeout — is
+  independent of application load and a healthy channel never
+  retransmits spuriously;
+* senders keep unacked frames and run one **retransmit timer per
+  channel** with exponential backoff (base ``retransmit_timeout``,
+  multiplied by ``retransmit_backoff`` per barren expiry, capped at
+  ``retransmit_timeout_cap``), resending every unacked frame when it
+  fires.  Timers live on the kernel's alarm queue, so retransmission
+  happens in virtual time, interleaved causally with rank actions.
+
+Interplay with quiescence detection (the soundness argument)
+------------------------------------------------------------
+The four-counter detector counts *application* messages: the engine
+records a send once per :meth:`DiscreteEventLoop.send` and a receive
+once per handler dispatch.  Frames — retransmissions, duplicates, acks
+— are physical artefacts below that line: they never touch the
+``sent``/``received`` counters nor ``in_flight``.  Because this layer
+delivers each application message to the handler exactly once, the
+counters balance exactly when no application message is outstanding, so
+the detector can never conclude early because of a retransmission in
+flight.  Conversely a dropped frame keeps its application message
+un-dispatched (``in_flight`` > 0, counters unbalanced), the detector
+keeps waving, and the pending retransmit alarm guarantees progress —
+no hang.
+
+Coalescing interplay: cross-rank sends bypass the squash window when a
+transport is attached (in-place payload merge at the receiver would let
+a message skip the lossy network entirely), so reliability implicitly
+disables §II-D squashing for cross-rank traffic.  Self-sends never
+traverse the network and keep their fast path.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.comm.des import DiscreteEventLoop
+
+
+class Frame:
+    """One unit on the simulated wire (below the visitor-queue level).
+
+    ``src``/``dst`` are the physical sender and receiver of *this*
+    frame.  ``lane`` names the application channel the frame sequences
+    (False = data lane, True = control lane).  For DATA frames ``seq``
+    is the channel sequence number and ``payload`` the application
+    message; for ACK frames ``seq`` is the cumulative ack value (all
+    sequence numbers below it have been received) and ``payload`` is
+    unused.
+    """
+
+    DATA = 0
+    ACK = 1
+
+    __slots__ = ("kind", "src", "dst", "lane", "seq", "payload")
+
+    def __init__(
+        self,
+        kind: int,
+        src: int,
+        dst: int,
+        lane: bool,
+        seq: int,
+        payload: Any = None,
+    ):
+        self.kind = kind
+        self.src = src
+        self.dst = dst
+        self.lane = lane
+        self.seq = seq
+        self.payload = payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        k = "DATA" if self.kind == Frame.DATA else "ACK"
+        return f"Frame({k} {self.src}->{self.dst} lane={self.lane} seq={self.seq})"
+
+
+class SenderChannel:
+    """Sender-side state for one ``(src, dst, lane)`` channel."""
+
+    __slots__ = ("src", "dst", "lane", "next_seq", "unacked", "rto", "armed")
+
+    def __init__(self, src: int, dst: int, lane: bool, base_rto: float):
+        self.src = src
+        self.dst = dst
+        self.lane = lane
+        self.next_seq = 0
+        # seq -> (application message, last transmit time);
+        # insertion-ordered = sequence-ordered
+        self.unacked: dict[int, tuple[Any, float]] = {}
+        self.rto = base_rto
+        self.armed = False  # a retransmit alarm is pending
+
+    def ack(self, cumulative: int) -> int:
+        """Discard frames acknowledged by ``cumulative``; returns count."""
+        acked = [s for s in self.unacked if s < cumulative]
+        for s in acked:
+            del self.unacked[s]
+        return len(acked)
+
+
+class ReceiverChannel:
+    """Receiver-side state for one ``(src, dst, lane)`` channel."""
+
+    __slots__ = ("src", "dst", "lane", "next_expected", "reorder", "ack_armed", "need_ack")
+
+    def __init__(self, src: int, dst: int, lane: bool):
+        self.src = src
+        self.dst = dst
+        self.lane = lane
+        self.next_expected = 0
+        self.reorder: dict[int, Any] = {}  # out-of-order frames held back
+        self.ack_armed = False  # an ack alarm is pending
+        self.need_ack = False  # something arrived since the last ack
+
+    def admit(self, seq: int, payload: Any) -> list[Any]:
+        """Accept a DATA frame; returns app messages released in order,
+        or [] for a duplicate / out-of-order arrival."""
+        if seq < self.next_expected or seq in self.reorder:
+            return []
+        self.reorder[seq] = payload
+        out = []
+        while self.next_expected in self.reorder:
+            out.append(self.reorder.pop(self.next_expected))
+            self.next_expected += 1
+        return out
+
+
+class ReliableDelivery:
+    """The transport attached to a :class:`DiscreteEventLoop`.
+
+    ``plan`` (a :class:`repro.faults.FaultPlan`, or any object with a
+    ``frame_fate()`` method) decides each frame's fate on the wire; with
+    ``plan=None`` the wire is perfect and the protocol only costs its
+    framing/ack overhead — the configuration the zero-loss overhead
+    ablation measures.
+    """
+
+    def __init__(self, loop: "DiscreteEventLoop", plan: Any = None):
+        self.loop = loop
+        self.plan = plan
+        self._senders: dict[tuple[int, int, bool], SenderChannel] = {}
+        self._receivers: dict[tuple[int, int, bool], ReceiverChannel] = {}
+        # wire-level telemetry
+        self.app_sent = 0  # application messages entrusted to the wire
+        self.app_delivered = 0  # released to the handler, exactly once
+        self.retransmits = 0  # DATA frames re-sent by a timer
+        self.frames_dropped = 0  # frames the fault plan ate
+        self.frames_duplicated = 0  # extra copies the fault plan injected
+        self.frames_delayed = 0  # frames given extra in-flight latency
+        self.acks_sent = 0  # cumulative ACK frames emitted
+        self.dup_frames = 0  # duplicates discarded at the receiver
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def unacked_total(self) -> int:
+        """DATA frames sent but not yet cumulatively acked (all channels)."""
+        return sum(len(ch.unacked) for ch in self._senders.values())
+
+    def reorder_total(self) -> int:
+        """Frames held in receiver reorder buffers (gap behind them)."""
+        return sum(len(ch.reorder) for ch in self._receivers.values())
+
+    def counters(self) -> dict[str, int]:
+        """JSON-safe snapshot of the wire telemetry."""
+        return {
+            "app_sent": self.app_sent,
+            "app_delivered": self.app_delivered,
+            "retransmits": self.retransmits,
+            "frames_dropped": self.frames_dropped,
+            "frames_duplicated": self.frames_duplicated,
+            "frames_delayed": self.frames_delayed,
+            "acks_sent": self.acks_sent,
+            "dup_frames": self.dup_frames,
+            "unacked": self.unacked_total(),
+        }
+
+    # ------------------------------------------------------------------
+    # sender side
+    # ------------------------------------------------------------------
+    def send_app(
+        self, departure: float, src: int, dst: int, msg: Any, priority: bool
+    ) -> None:
+        """Kernel hook: a cross-rank application message departs."""
+        key = (src, dst, priority)
+        ch = self._senders.get(key)
+        if ch is None:
+            ch = self._senders[key] = SenderChannel(
+                src, dst, priority, self.loop.cost.retransmit_timeout
+            )
+        seq = ch.next_seq
+        ch.next_seq += 1
+        ch.unacked[seq] = (msg, departure)
+        self.app_sent += 1
+        self._transmit(departure, Frame(Frame.DATA, src, dst, priority, seq, msg))
+        if not ch.armed:
+            self._arm_retransmit(ch, departure)
+
+    def _transmit(self, departure: float, frame: Frame, fifo: bool = True) -> None:
+        """Put one frame on the wire, subject to the fault plan."""
+        fate, extra = ("ok", 0.0)
+        if self.plan is not None:
+            fate, extra = self.plan.frame_fate()
+        if fate == "drop":
+            self.frames_dropped += 1
+            self.loop.on_frame_dropped(frame)
+            return
+        if fate == "delay":
+            self.frames_delayed += 1
+            self.loop.deliver_frame(departure, frame, extra_delay=extra, fifo=False)
+            return
+        self.loop.deliver_frame(departure, frame, fifo=fifo)
+        if fate == "dup":
+            self.frames_duplicated += 1
+            self.loop.deliver_frame(departure, frame, extra_delay=extra, fifo=False)
+
+    def _arm_retransmit(self, ch: SenderChannel, now_t: float) -> None:
+        ch.armed = True
+        deadline = now_t + ch.rto
+        self.loop.schedule_alarm(
+            deadline, lambda: self._on_retransmit_timer(ch, deadline)
+        )
+
+    def _on_retransmit_timer(self, ch: SenderChannel, deadline: float) -> None:
+        ch.armed = False
+        loop = self.loop
+        if not ch.unacked:
+            # Everything acked since arming: channel healthy, reset RTO.
+            ch.rto = loop.cost.retransmit_timeout
+            return
+        # Only frames that have genuinely aged are resent; frames sent
+        # shortly before this expiry get a fresh round instead of an
+        # instant (spurious) retransmission — this is what keeps the
+        # retransmit count at exactly zero on a healthy channel.
+        cutoff = deadline - 0.5 * ch.rto
+        overdue = [
+            (seq, msg) for seq, (msg, sent) in ch.unacked.items() if sent <= cutoff
+        ]
+        if not overdue:
+            oldest = min(sent for _, sent in ch.unacked.values())
+            ch.armed = True
+            next_deadline = oldest + ch.rto
+            loop.schedule_alarm(
+                next_deadline,
+                lambda: self._on_retransmit_timer(ch, next_deadline),
+            )
+            return
+        # NIC-level resend: frames depart at the timer instant (the
+        # progress engine does not wait for the rank to go idle), while
+        # the CPU cost is still charged to the owning rank.
+        for seq, msg in overdue:
+            loop.consume(ch.src, loop.cost.retransmit_cpu)
+            self.retransmits += 1
+            # Retransmissions bypass the FIFO clamp: they are out-of-band
+            # copies and the receiver's reorder buffer restores order.
+            self._transmit(
+                deadline,
+                Frame(Frame.DATA, ch.src, ch.dst, ch.lane, seq, msg),
+                fifo=False,
+            )
+            ch.unacked[seq] = (msg, deadline)
+        ch.rto = min(
+            ch.rto * loop.cost.retransmit_backoff, loop.cost.retransmit_timeout_cap
+        )
+        self._arm_retransmit(ch, deadline)
+
+    # ------------------------------------------------------------------
+    # receiver side
+    # ------------------------------------------------------------------
+    def on_frame_arrival(self, frame: Frame, arrival: float) -> None:
+        """Kernel hook (alarm): ``frame`` reached ``frame.dst``'s NIC.
+
+        Runs at wire-arrival time regardless of what the receiving rank
+        is busy with; the frame-handling CPU is charged to the rank.
+        In-order DATA releases application messages into the receiver's
+        inbox (at this instant, in channel order) for normal dispatch.
+        """
+        loop = self.loop
+        rank = frame.dst
+        loop.consume(rank, loop.cost.reliable_frame_cpu)
+        if frame.kind == Frame.ACK:
+            ch = self._senders.get((rank, frame.src, frame.lane))
+            if ch is not None and ch.ack(frame.seq) and not ch.unacked:
+                ch.rto = loop.cost.retransmit_timeout
+            return
+        key = (frame.src, rank, frame.lane)
+        rc = self._receivers.get(key)
+        if rc is None:
+            rc = self._receivers[key] = ReceiverChannel(frame.src, rank, frame.lane)
+        if frame.seq < rc.next_expected or frame.seq in rc.reorder:
+            self.dup_frames += 1
+        released = rc.admit(frame.seq, frame.payload)
+        for msg in released:
+            loop.deliver_released(arrival, rank, msg, frame.lane)
+        self.app_delivered += len(released)
+        # Any DATA arrival (fresh or duplicate) warrants an eventual ack:
+        # duplicates signal a lost ack that needs re-sending.
+        rc.need_ack = True
+        if not rc.ack_armed:
+            rc.ack_armed = True
+            deadline = arrival + loop.cost.ack_delay
+            loop.schedule_alarm(deadline, lambda: self._on_ack_timer(rc, deadline))
+
+    def _on_ack_timer(self, rc: ReceiverChannel, deadline: float) -> None:
+        rc.ack_armed = False
+        if not rc.need_ack:
+            return
+        rc.need_ack = False
+        loop = self.loop
+        loop.consume(rc.dst, loop.cost.ack_cpu)
+        self.acks_sent += 1
+        # NIC-level ack: departs at the timer instant and skips the FIFO
+        # clamp; its lane field names the data channel it acknowledges.
+        self._transmit(
+            deadline,
+            Frame(Frame.ACK, rc.dst, rc.src, rc.lane, rc.next_expected),
+            fifo=False,
+        )

@@ -53,7 +53,15 @@ class StreamMultiplexer(EventStream):
             return None
         if self._policy == "random":
             weights = np.array([s.remaining() for s in live], dtype=np.float64)
-            pick = live[int(self._rng.choice(len(live), p=weights / weights.sum()))]
+            total = weights.sum()
+            if total > 0.0:
+                pick = live[int(self._rng.choice(len(live), p=weights / total))]
+            else:
+                # Live streams may legitimately report remaining() == 0
+                # (unknown-length sources); a zero sum would turn the
+                # probabilities into NaN and crash rng.choice — fall
+                # back to a uniform choice instead.
+                pick = live[int(self._rng.integers(len(live)))]
             return pick.pull()
         # round robin: advance the cursor until we find a live stream
         n = len(self._streams)

@@ -153,6 +153,18 @@ class ArrayEventStream(EventStream):
         """Rewind to the beginning (streams are replayable for re-runs)."""
         self._cursor = 0
 
+    @property
+    def position(self) -> int:
+        """Events pulled so far (checkpointable replay position)."""
+        return self._cursor
+
+    def seek(self, position: int) -> None:
+        """Jump to an absolute replay position (crash recovery: resume
+        ingestion at the suffix after the last checkpoint)."""
+        if not 0 <= position <= self._n:
+            raise ValueError(f"position {position} out of range [0, {self._n}]")
+        self._cursor = int(position)
+
 
 class ListEventStream(EventStream):
     """A stream over an explicit list of event tuples (tests, examples)."""
@@ -187,6 +199,19 @@ class ListEventStream(EventStream):
 
     def reset(self) -> None:
         self._cursor = 0
+
+    @property
+    def position(self) -> int:
+        """Events pulled so far (checkpointable replay position)."""
+        return self._cursor
+
+    def seek(self, position: int) -> None:
+        """Jump to an absolute replay position (crash recovery)."""
+        if not 0 <= position <= len(self._events):
+            raise ValueError(
+                f"position {position} out of range [0, {len(self._events)}]"
+            )
+        self._cursor = int(position)
 
 
 def split_round_robin(n_events: int, n_streams: int) -> list[np.ndarray]:

@@ -1,0 +1,29 @@
+"""Fault injection and crash recovery for the simulated cluster.
+
+The paper's platform runs on thousands of cores for hours; at that
+scale message loss and rank failure are operating conditions, not
+exceptions.  This subpackage makes the simulator hostile on purpose:
+
+* :class:`~repro.faults.plan.FaultPlan` — a seeded, virtual-time fault
+  schedule: per-frame drop/duplicate/delay probabilities for the wire
+  (consumed by :class:`repro.comm.channel.ReliableDelivery`), plus
+  rank crash and stall events at chosen virtual instants;
+* :class:`~repro.faults.runner.FaultTolerantRunner` — orchestrates a
+  run under a plan: periodic quiescent checkpoints, whole-cluster
+  rollback on a crash (fresh engine + last checkpoint + stream
+  ``seek()`` to the saved positions), replaying the suffix until the
+  workload completes.  REMO algorithms make the replay safe: they are
+  monotone and interleaving-independent, so re-processing a suffix
+  converges to the same answer as the fault-free run.
+"""
+
+from repro.faults.plan import FaultPlan, RankCrash, RankStall
+from repro.faults.runner import FaultRunResult, FaultTolerantRunner
+
+__all__ = [
+    "FaultPlan",
+    "RankCrash",
+    "RankStall",
+    "FaultRunResult",
+    "FaultTolerantRunner",
+]

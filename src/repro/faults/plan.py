@@ -1,0 +1,163 @@
+"""Seeded virtual-time fault schedules.
+
+A :class:`FaultPlan` is the single source of hostility for a run: the
+wire consults it once per frame (drop / duplicate / delay), and the
+fault-tolerant runner consults its crash/stall event lists.  Everything
+is driven by one seeded generator, so a plan replays identically —
+including across crash recoveries, because the generator's state simply
+continues into the next incarnation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+US = 1e-6
+
+
+@dataclass(frozen=True)
+class RankCrash:
+    """Kill one rank (whole-cluster rollback) at a virtual instant.
+
+    ``rank`` < 0 lets the plan pick a victim with its own generator.
+    """
+
+    time: float
+    rank: int = -1
+
+
+@dataclass(frozen=True)
+class RankStall:
+    """Freeze one rank for ``duration`` virtual seconds (GC pause / OS
+    hiccup): the rank services nothing while frozen; peers keep sending
+    and the reliability layer absorbs the resulting retransmissions."""
+
+    time: float
+    rank: int = -1
+    duration: float = 200.0 * US
+
+
+class FaultPlan:
+    """One run's worth of scheduled misfortune.
+
+    Parameters
+    ----------
+    drop, dup, delay:
+        Per-frame probabilities (disjoint: one uniform draw per frame
+        is bucketed drop → dup → delay → ok).  ``drop`` is capped at
+        0.5 — above that, retransmission becomes a coin-flip gambler's
+        ruin and runs stop terminating in reasonable virtual time.
+    delay_scale:
+        Upper bound of the uniform extra latency (also used as the
+        duplicate copy's lag).
+    crashes, stalls:
+        :class:`RankCrash` / :class:`RankStall` events, consumed in
+        time order by the runner / engine.
+    seed:
+        Seeds the single generator behind frame fates and victim picks.
+    """
+
+    def __init__(
+        self,
+        drop: float = 0.0,
+        dup: float = 0.0,
+        delay: float = 0.0,
+        delay_scale: float = 50.0 * US,
+        crashes: tuple[RankCrash, ...] | list[RankCrash] = (),
+        stalls: tuple[RankStall, ...] | list[RankStall] = (),
+        seed: int = 0,
+    ):
+        for name, p in (("drop", drop), ("dup", dup), ("delay", delay)):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {p}")
+        if drop > 0.5:
+            raise ValueError(f"drop must be <= 0.5, got {drop}")
+        if drop + dup + delay > 1.0:
+            raise ValueError("drop + dup + delay must not exceed 1")
+        if delay_scale < 0:
+            raise ValueError(f"delay_scale must be >= 0, got {delay_scale}")
+        self.drop = float(drop)
+        self.dup = float(dup)
+        self.delay = float(delay)
+        self.delay_scale = float(delay_scale)
+        self.crashes = sorted(crashes, key=lambda c: c.time)
+        self.stalls = sorted(stalls, key=lambda s: s.time)
+        self.seed = int(seed)
+        self.rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def frame_fate(self) -> tuple[str, float]:
+        """Decide one frame's fate: ``("ok"|"drop"|"dup"|"delay", lag)``.
+
+        ``lag`` is the extra in-flight latency for a delayed frame, or
+        the duplicate copy's lag behind the original.
+        """
+        r = self.rng.random()
+        if r < self.drop:
+            return ("drop", 0.0)
+        if r < self.drop + self.dup:
+            return ("dup", float(self.rng.uniform(0.0, self.delay_scale)))
+        if r < self.drop + self.dup + self.delay:
+            return ("delay", float(self.rng.uniform(0.0, self.delay_scale)))
+        return ("ok", 0.0)
+
+    def pick_rank(self, n_ranks: int) -> int:
+        """Choose a victim rank for an event that left it unspecified."""
+        return int(self.rng.integers(n_ranks))
+
+    def describe(self) -> dict:
+        """JSON-safe summary (benchmark/CLI reports)."""
+        return {
+            "drop": self.drop,
+            "dup": self.dup,
+            "delay": self.delay,
+            "delay_scale": self.delay_scale,
+            "seed": self.seed,
+            "crashes": [(c.time, c.rank) for c in self.crashes],
+            "stalls": [(s.time, s.rank, s.duration) for s in self.stalls],
+        }
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_spec(cls, spec: str, time_scale: float = 1.0) -> "FaultPlan":
+        """Parse a CLI-style plan spec.
+
+        ``spec`` is comma-separated ``key=value`` pairs::
+
+            drop=0.1,dup=0.02,delay=0.05,seed=7,crash=0.5,stall=0.3
+
+        ``crash``/``stall`` may repeat; their values are *fractions* of
+        the run's estimated makespan and are multiplied by
+        ``time_scale`` to become virtual instants (the CLI passes its
+        makespan estimate).  A stall may carry a duration in virtual
+        microseconds as ``stall=FRAC:US``.
+        """
+        kwargs: dict = {}
+        crashes: list[RankCrash] = []
+        stalls: list[RankStall] = []
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if "=" not in part:
+                raise ValueError(f"bad fault spec item {part!r} (need key=value)")
+            key, _, value = part.partition("=")
+            key = key.strip()
+            value = value.strip()
+            if key == "crash":
+                crashes.append(RankCrash(time=float(value) * time_scale))
+            elif key == "stall":
+                frac, _, dur = value.partition(":")
+                duration = float(dur) * US if dur else RankStall.duration
+                stalls.append(
+                    RankStall(time=float(frac) * time_scale, duration=duration)
+                )
+            elif key in ("drop", "dup", "delay", "delay_scale"):
+                kwargs[key] = float(value)
+            elif key == "seed":
+                kwargs[key] = int(value)
+            else:
+                raise ValueError(f"unknown fault spec key {key!r}")
+        return cls(crashes=crashes, stalls=stalls, **kwargs)

@@ -32,8 +32,14 @@ class NotQuiescentError(RuntimeError):
     """Raised when checkpointing an engine with work still in flight."""
 
 
-def save_checkpoint(engine: DynamicEngine, path: str | Path) -> None:
+def save_checkpoint(
+    engine: DynamicEngine, path: str | Path, extra: dict | None = None
+) -> None:
     """Serialise a quiescent engine's durable state to ``path``.
+
+    ``extra`` is an optional picklable dict stored alongside the engine
+    state — the fault-tolerant runner uses it to record stream replay
+    positions so recovery can resume ingestion at the right suffix.
 
     Raises :class:`NotQuiescentError` if streams or messages remain —
     checkpoints of a mid-flight cluster would need the whole message
@@ -50,6 +56,10 @@ def save_checkpoint(engine: DynamicEngine, path: str | Path) -> None:
         srcs.append(s)
         dsts.append(d)
         weights.append(w)
+    # np.array() infers the dtype from the values: int64 for integer
+    # weights, float64 when any weight is a float (SSSP / widest-path
+    # workloads) — forcing int64 here would silently truncate them.
+    weight_arr = np.array(weights) if weights else np.empty(0, dtype=np.int64)
     values = [
         {vid: val for rank_vals in engine.values for vid, val in rank_vals[p].items()}
         for p in range(len(engine.programs))
@@ -59,23 +69,25 @@ def save_checkpoint(engine: DynamicEngine, path: str | Path) -> None:
         "values": values,
         "stream_version": list(engine.stream_version),
         "next_version": engine._next_version,
+        "extra": dict(extra) if extra else {},
     }
     path = Path(path)
     np.savez_compressed(
         path,
         src=np.array(srcs, dtype=np.int64),
         dst=np.array(dsts, dtype=np.int64),
-        weights=np.array(weights, dtype=np.int64),
+        weights=weight_arr,
         sidecar=np.frombuffer(pickle.dumps(payload), dtype=np.uint8),
     )
 
 
-def load_checkpoint(engine: DynamicEngine, path: str | Path) -> None:
+def load_checkpoint(engine: DynamicEngine, path: str | Path) -> dict:
     """Restore a checkpoint into a *fresh* engine.
 
     The engine must have been constructed with the same program list
     (matched by name, in order) as the one that saved the checkpoint,
-    and must not have processed any events yet.
+    and must not have processed any events yet.  Returns the ``extra``
+    dict the checkpoint was saved with (empty for plain checkpoints).
     """
     if engine.num_edges or engine.loop.actions_executed:
         raise RuntimeError("restore target must be a fresh engine")
@@ -92,7 +104,9 @@ def load_checkpoint(engine: DynamicEngine, path: str | Path) -> None:
     # at its owner directly (no events, no message traffic).
     for s, d, w in zip(srcs, dsts, weights):
         rank = engine.partitioner.owner(int(s))
-        engine.stores[rank].insert_edge(int(s), int(d), int(w))
+        # .item() preserves the stored weight dtype (int stays int,
+        # float stays float) instead of truncating through int().
+        engine.stores[rank].insert_edge(int(s), int(d), w.item())
     # Program values at their owners.
     for p, vals in enumerate(payload["values"]):
         for vid, val in vals.items():
@@ -100,3 +114,5 @@ def load_checkpoint(engine: DynamicEngine, path: str | Path) -> None:
             engine.values[rank][p][vid] = val
     engine.stream_version = list(payload["stream_version"])
     engine._next_version = payload["next_version"]
+    # Older checkpoints (pre-fault-tolerance) carry no extra payload.
+    return payload.get("extra", {})

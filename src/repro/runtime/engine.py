@@ -358,6 +358,63 @@ class DynamicEngine(RankHandler):
         """Register a "When" query on a program's vertex-local state."""
         return self.triggers.add(self.prog_index(prog), predicate, callback, vertex, once)
 
+    @property
+    def transport(self):
+        """The reliable-delivery transport, or None (fault-free runs)."""
+        return self.loop.transport
+
+    def enable_faults(self, plan) -> None:
+        """Run this engine under a :class:`repro.faults.FaultPlan`.
+
+        Attaches a reliable-delivery transport consulting ``plan`` for
+        every frame's fate, schedules the plan's rank stalls, and wires
+        fault instants into the tracer/metrics when configured.  Crash
+        events are *not* handled here — a crash discards the whole
+        engine, so it is orchestrated by
+        :class:`repro.faults.FaultTolerantRunner`.
+
+        Must be called before :meth:`run`.  Bulk ingest is disabled for
+        the run: the chunked array path bypasses the message layer and
+        would never put frames on the lossy wire.
+        """
+        from repro.comm.channel import ReliableDelivery
+
+        if self._started:
+            raise RuntimeError("enable_faults before the engine runs")
+        self.loop.attach_transport(ReliableDelivery(self.loop, plan))
+        if self._bulk is not None:
+            self._bulk.disabled = True
+        tracer, metrics = self.tracer, self.metrics
+        if tracer is not None or metrics is not None:
+
+            def on_drop(frame) -> None:
+                if metrics is not None:
+                    metrics.inc("frames_dropped")
+                if tracer is not None:
+                    tracer.instant(
+                        frame.dst,
+                        "fault/drop",
+                        self.loop.clock[frame.src],
+                        "fault",
+                        {"src": frame.src, "kind": frame.kind, "seq": frame.seq},
+                    )
+
+            self.loop.on_frame_dropped = on_drop
+        for stall in plan.stalls:
+            rank = stall.rank if stall.rank >= 0 else plan.pick_rank(self.config.n_ranks)
+            until = stall.time + stall.duration
+
+            def fire(rank=rank, at=stall.time, until=until) -> None:
+                self.loop.stall_rank(rank, until)
+                if self.metrics is not None:
+                    self.metrics.inc("stalls")
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        rank, "fault/stall", at, "fault", {"until": until}
+                    )
+
+            self.loop.schedule_alarm(stall.time, fire)
+
     def run(self, max_virtual_time: float | None = None, max_actions: int | None = None) -> float:
         """Drive the cluster; returns the virtual makespan so far."""
         if not self._started:

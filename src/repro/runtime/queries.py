@@ -47,9 +47,13 @@ class Trigger:
             return False
         if not self.predicate(vertex, value):
             return False
+        # Mark fired only *after* the callback returns: a raising
+        # callback must not permanently suppress a once-trigger that
+        # never actually delivered its notification — the condition is
+        # still met, so the next state change retries it.
+        self.callback(vertex, value, time)
         if self.once:
             self.fired_vertices.add(vertex)
-        self.callback(vertex, value, time)
         return True
 
 

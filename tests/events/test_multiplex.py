@@ -66,6 +66,40 @@ class TestRandomPolicy:
         assert order1 == order2
 
 
+class UnknownLengthStream(ListEventStream):
+    """A live source that cannot report its backlog (remaining() == 0
+    while events are still available) — e.g. a socket-backed feed."""
+
+    def remaining(self):
+        return 0
+
+    @property
+    def exhausted(self):
+        return self._cursor >= len(self._events)
+
+
+class TestRandomZeroSumGuard:
+    def test_zero_remaining_live_streams_do_not_crash(self):
+        # Regression: weights.sum() == 0 made every probability NaN and
+        # rng.choice raised; now the pick falls back to uniform.
+        rng = np.random.default_rng(3)
+        a = UnknownLengthStream([(ADD, 1, 101, 1), (ADD, 2, 102, 1)])
+        b = UnknownLengthStream([(ADD, 10, 110, 1)])
+        mux = StreamMultiplexer([a, b], policy="random", rng=rng)
+        srcs = [e[1] for e in mux]
+        assert sorted(srcs) == [1, 2, 10]
+        # per-stream order still preserved under the fallback
+        assert [s for s in srcs if s < 10] == [1, 2]
+
+    def test_mixed_known_and_unknown_lengths(self):
+        rng = np.random.default_rng(11)
+        known = mk([1, 2, 3])
+        unknown = UnknownLengthStream([(ADD, 10, 110, 1)])
+        mux = StreamMultiplexer([known, unknown], policy="random", rng=rng)
+        srcs = [e[1] for e in mux]
+        assert sorted(srcs) == [1, 2, 3, 10]
+
+
 class TestValidation:
     def test_no_streams_rejected(self):
         with pytest.raises(ValueError):

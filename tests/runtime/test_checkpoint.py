@@ -80,6 +80,127 @@ class TestRoundTrip:
         assert verify_bfs(restored, "bfs", source) == []
 
 
+class TestWeightDtype:
+    """Regression: save_checkpoint used to coerce weights to int64,
+    silently truncating float weights (SSSP / widest-path workloads)."""
+
+    FLOAT_EDGES = [(1, 2, 0.25), (2, 1, 0.25), (3, 4, 7.5), (4, 3, 7.5)]
+
+    def _place_edges(self, engine, edges):
+        for s, d, w in edges:
+            engine.stores[engine.partitioner.owner(s)].insert_edge(s, d, w)
+
+    def test_float_weights_round_trip_exactly(self, tmp_path):
+        original = build_engine()
+        self._place_edges(original, self.FLOAT_EDGES)
+        path = tmp_path / "float.npz"
+        save_checkpoint(original, path)
+
+        restored = build_engine()
+        load_checkpoint(restored, path)
+        got = {(s, d): w for s, d, w in restored.edges()}
+        assert got == {(s, d): w for s, d, w in self.FLOAT_EDGES}
+        # the restored weights are genuine floats, not int-truncated
+        assert all(isinstance(w, float) for w in got.values())
+
+    def test_int_weights_stay_int(self, tmp_path):
+        original = build_engine()
+        self._place_edges(original, [(1, 2, 3), (2, 1, 3)])
+        path = tmp_path / "int.npz"
+        save_checkpoint(original, path)
+
+        restored = build_engine()
+        load_checkpoint(restored, path)
+        got = {(s, d): w for s, d, w in restored.edges()}
+        assert got == {(1, 2): 3, (2, 1): 3}
+        assert all(isinstance(w, int) for w in got.values())
+
+
+class TestRestoreIntoBulkIngest:
+    """Restoring into a ``bulk_ingest=True`` engine: load_checkpoint
+    inserts edges directly into the stores, so the bulk ingestor's
+    cached topology must be rebuilt before its first chunk — otherwise
+    frontier kernels would run on a stale (empty) CSR."""
+
+    def _bulk_engine(self, n_ranks=4):
+        return DynamicEngine(
+            [IncrementalBFS(), IncrementalCC()],
+            EngineConfig(n_ranks=n_ranks, bulk_ingest=True, bulk_chunk=32),
+        )
+
+    def test_round_trip_into_bulk_engine(self, tmp_path):
+        original = build_engine()
+        source = run_workload(original)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(original, path)
+
+        restored = self._bulk_engine()
+        load_checkpoint(restored, path)
+        assert restored.num_edges == original.num_edges
+        assert restored.state("bfs") == original.state("bfs")
+        assert restored.state("cc") == original.state("cc")
+        assert verify_bfs(restored, "bfs", source) == []
+
+    def test_restored_bulk_engine_resumes_with_bulk_path(self, tmp_path):
+        original = build_engine()
+        source = run_workload(original)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(original, path)
+
+        restored = self._bulk_engine()
+        load_checkpoint(restored, path)
+        rng = np.random.default_rng(99)
+        src, dst = rmat_edges(7, edge_factor=4, rng=rng)
+        restored.attach_streams(
+            split_streams(src, dst, restored.config.n_ranks, rng=rng)
+        )
+        restored.run()
+        # per-event continuation from the same checkpoint must agree
+        per_event = build_engine()
+        load_checkpoint(per_event, path)
+        rng = np.random.default_rng(99)
+        src, dst = rmat_edges(7, edge_factor=4, rng=rng)
+        per_event.attach_streams(
+            split_streams(src, dst, per_event.config.n_ranks, rng=rng)
+        )
+        per_event.run()
+        assert restored.state("bfs") == per_event.state("bfs")
+        assert restored.state("cc") == per_event.state("cc")
+        assert verify_bfs(restored, "bfs", source) == []
+        assert verify_cc(restored, "cc") == []
+
+    def test_save_from_bulk_engine_and_restore(self, tmp_path):
+        original = self._bulk_engine()
+        source = run_workload(original)
+        path = tmp_path / "bulk.npz"
+        save_checkpoint(original, path)
+        restored = build_engine()
+        load_checkpoint(restored, path)
+        assert restored.state("bfs") == original.state("bfs")
+        assert verify_bfs(restored, "bfs", source) == []
+
+
+class TestExtraPayload:
+    def test_extra_round_trips(self, tmp_path):
+        original = build_engine()
+        run_workload(original)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(
+            original, path, extra={"stream_positions": {0: 5, 1: 7}}
+        )
+        restored = build_engine()
+        extra = load_checkpoint(restored, path)
+        assert extra == {"stream_positions": {0: 5, 1: 7}}
+
+    def test_missing_extra_defaults_to_empty(self, tmp_path):
+        original = build_engine()
+        run_workload(original)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(original, path)
+        restored = build_engine()
+        assert load_checkpoint(restored, path) == {}
+
+
 class TestGuards:
     def test_save_mid_flight_rejected(self, tmp_path):
         e = build_engine()

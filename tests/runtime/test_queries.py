@@ -32,6 +32,31 @@ class TestTriggerManagerUnit:
         tm.on_change(0, 2, 1, 0.0)
         assert fired == [1, 2]
 
+    def test_raising_callback_does_not_burn_once_trigger(self):
+        # Regression: the vertex used to be added to fired_vertices
+        # *before* the callback ran, so a raising callback permanently
+        # suppressed a once-trigger that never actually fired.
+        tm = TriggerManager()
+        fired = []
+        calls = {"n": 0}
+
+        def flaky(v, val, t):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("downstream notification failed")
+            fired.append((v, val))
+
+        tm.add(0, lambda v, val: val > 5, flaky)
+        with pytest.raises(RuntimeError):
+            tm.on_change(0, 1, 7, 0.0)
+        assert fired == []
+        # the condition is still met on the next write: retried
+        tm.on_change(0, 1, 8, 1.0)
+        assert fired == [(1, 8)]
+        # once-semantics hold after the successful delivery
+        tm.on_change(0, 1, 9, 2.0)
+        assert fired == [(1, 8)]
+
     def test_repeating_trigger(self):
         tm = TriggerManager()
         fired = []
