@@ -11,7 +11,7 @@ end-to-end event-rate effect of the imbalance.
 import numpy as np
 
 from conftest import report_table
-from harness import BENCH_SCALE, SEEDS, fmt_rate, fmt_table, run_dynamic
+from harness import BENCH_SCALE, SEEDS, fmt_rate, fmt_table
 
 from repro import DynamicEngine, EngineConfig, IncrementalCC, split_streams
 from repro.generators import erdos_renyi_edges, rmat_edges

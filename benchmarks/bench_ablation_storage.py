@@ -12,7 +12,6 @@ Two studies on the storage substrate:
    matters on power-law graphs.
 """
 
-import numpy as np
 import pytest
 
 from conftest import report_table

@@ -15,8 +15,6 @@ Expected shape (paper's findings):
 * the overlapped bar lands near bar 2's total while being live.
 """
 
-import numpy as np
-
 from conftest import report_table
 from harness import (
     BENCH_SCALE,

@@ -115,7 +115,8 @@ def test_fig4_collection_vs_static(benchmark):
         for r in results
     ]
     table = fmt_table(
-        ["interval", "edges at cut", "collection latency", "static BFS", "advantage", "probe waves"],
+        ["interval", "edges at cut", "collection latency", "static BFS",
+         "advantage", "probe waves"],
         rows,
         title=(
             f"Figure 4: on-the-fly global state collection vs static "

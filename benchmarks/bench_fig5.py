@@ -10,7 +10,6 @@ onto edge construction); each dataset shows its own performance pattern
 """
 
 import numpy as np
-import pytest
 
 from conftest import report_table
 from harness import BENCH_SCALE, SEEDS, fmt_rate, fmt_table, run_dynamic

@@ -5,7 +5,6 @@ actually generated here (structure class, scaled-down sizes), and
 benchmarks stand-in generation throughput.
 """
 
-import numpy as np
 import pytest
 
 from conftest import report_table

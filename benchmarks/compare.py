@@ -1,0 +1,142 @@
+"""Regression gate over the machine-readable ``BENCH_*.json`` artifacts.
+
+CI regenerates the smoke-scale benches and diffs the fresh results
+against the copies committed at the repo root; a gated metric that lost
+more than ``--tolerance`` (default 25%) fails the build.
+
+Only *virtual* (cost-model) metrics are gated: they are deterministic
+functions of the code and the workload, so a drop is a real behavioural
+regression, not runner noise.  Wall-clock numbers vary with the host
+and are never gated — by convention every machine-dependent key in the
+bench payloads carries ``wall`` in its name, and this tool skips any
+metric whose dotted path contains that substring (which is also why
+``BENCH_parallel.json`` contributes no gated metrics: the mp backend
+has no virtual time).  Improvements always pass.
+
+Usage (what the CI bench-regression step runs)::
+
+    python benchmarks/compare.py --baseline baseline_dir --fresh .
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# Metric keys gated wherever they appear in a payload.  All are
+# higher-is-better throughput/speedup figures derived from virtual
+# time.  ("peak_speedup" is a ratio of virtual rates — deterministic.)
+GATED_KEYS = frozenset({"events_per_second", "peak_speedup"})
+WALL_MARKER = "wall"
+
+
+def iter_metrics(doc, prefix: str = ""):
+    """Yield ``(dotted_path, value)`` for every gated numeric leaf."""
+    if isinstance(doc, dict):
+        for key, value in sorted(doc.items()):
+            path = f"{prefix}.{key}" if prefix else str(key)
+            if WALL_MARKER in str(key):
+                continue
+            if key in GATED_KEYS and isinstance(value, (int, float)):
+                yield path, float(value)
+            else:
+                yield from iter_metrics(value, path)
+    elif isinstance(doc, list):
+        for i, value in enumerate(doc):
+            yield from iter_metrics(value, f"{prefix}[{i}]")
+
+
+def compare_docs(baseline: dict, fresh: dict, tolerance: float) -> list[str]:
+    """Return regression descriptions (empty = gate passes)."""
+    base_metrics = dict(iter_metrics(baseline))
+    fresh_metrics = dict(iter_metrics(fresh))
+    problems = []
+    for path, base_value in sorted(base_metrics.items()):
+        if path not in fresh_metrics:
+            problems.append(f"{path}: gated metric missing from fresh run")
+            continue
+        fresh_value = fresh_metrics[path]
+        if base_value <= 0:
+            continue
+        loss = (base_value - fresh_value) / base_value
+        if loss > tolerance:
+            problems.append(
+                f"{path}: {base_value:,.1f} -> {fresh_value:,.1f} "
+                f"({loss:.1%} regression, tolerance {tolerance:.0%})"
+            )
+    return problems
+
+
+def compare_trees(
+    baseline_dir: Path, fresh_dir: Path, tolerance: float
+) -> tuple[list[str], list[str]]:
+    """Compare every baseline ``BENCH_*.json`` against its fresh twin.
+
+    Returns ``(problems, notes)``.  A baseline file with no fresh
+    counterpart is skipped with a note (that bench was not re-run); a
+    fresh file with no baseline is a new bench and passes with a note.
+    """
+    problems, notes = [], []
+    baseline_files = sorted(baseline_dir.glob("BENCH_*.json"))
+    if not baseline_files:
+        problems.append(f"no BENCH_*.json baselines found in {baseline_dir}")
+        return problems, notes
+    for base_path in baseline_files:
+        fresh_path = fresh_dir / base_path.name
+        if not fresh_path.exists():
+            notes.append(f"{base_path.name}: not re-run, skipped")
+            continue
+        regressions = compare_docs(
+            json.loads(base_path.read_text()),
+            json.loads(fresh_path.read_text()),
+            tolerance,
+        )
+        if regressions:
+            problems.extend(f"{base_path.name}: {r}" for r in regressions)
+        else:
+            gated = sum(1 for _ in iter_metrics(json.loads(base_path.read_text())))
+            notes.append(f"{base_path.name}: OK ({gated} gated metrics)")
+    for fresh_path in sorted(fresh_dir.glob("BENCH_*.json")):
+        if not (baseline_dir / fresh_path.name).exists():
+            notes.append(f"{fresh_path.name}: new bench, no baseline")
+    return problems, notes
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        required=True,
+        type=Path,
+        help="directory holding the committed BENCH_*.json copies",
+    )
+    parser.add_argument(
+        "--fresh",
+        required=True,
+        type=Path,
+        help="directory holding the freshly regenerated BENCH_*.json",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional loss on gated metrics (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+    if not 0 <= args.tolerance < 1:
+        parser.error(f"--tolerance must be in [0, 1), got {args.tolerance}")
+    problems, notes = compare_trees(args.baseline, args.fresh, args.tolerance)
+    for note in notes:
+        print(f"bench-regression: {note}")
+    for problem in problems:
+        print(f"bench-regression: FAIL {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    print("bench-regression: all gated metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

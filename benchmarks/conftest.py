@@ -8,7 +8,6 @@ after pytest-benchmark's own output, and each table is also written to
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 
 _TABLES: list[tuple[str, str]] = []

@@ -20,6 +20,7 @@ from repro.analytics.verify import (
     verify_cc,
     verify_sssp,
     verify_st,
+    verify_widest,
 )
 
 __all__ = [
@@ -34,4 +35,5 @@ __all__ = [
     "verify_cc",
     "verify_sssp",
     "verify_st",
+    "verify_widest",
 ]

@@ -164,6 +164,23 @@ def verify_st(
     return mismatches
 
 
+def verify_widest(
+    engine,
+    prog: int | str,
+    source: int,
+    state: dict[int, Any] | None = None,
+) -> list[str]:
+    """Check a quiesced Widest Path program against the static max-min
+    Dijkstra oracle on the final topology.  0 = unreached (capacities
+    are >= 1, the source holds CAP_INF)."""
+    from repro.algorithms.widest_path import static_widest_path
+
+    graph = csr_from_engine(engine)
+    expect = static_widest_path(graph, source)
+    raw = engine.state(prog) if state is None else state
+    return _compare(raw, expect, lambda v: v == 0)
+
+
 def _extract(
     raw: dict[int, Any], value_of: Callable[[Any], int] | None
 ) -> dict[int, int]:

@@ -33,6 +33,7 @@ from repro.algorithms import (
     IncrementalCC,
     IncrementalSSSP,
     MultiSTConnectivity,
+    WidestPath,
 )
 from repro.analytics import (
     throughput_report,
@@ -40,6 +41,7 @@ from repro.analytics import (
     verify_cc,
     verify_sssp,
     verify_st,
+    verify_widest,
 )
 from repro.comm.costmodel import CostModel
 from repro.events.io import read_edge_npz, read_edge_text, write_edge_npz, write_edge_text
@@ -50,7 +52,7 @@ from repro.runtime.engine import DynamicEngine, EngineConfig
 from repro.util.timers import WallTimer
 
 GRAPH_CHOICES = sorted(set(DATASET_PRESETS) | {"rmat"})
-ALGO_CHOICES = ["con", "bfs", "det-bfs", "sssp", "cc", "st"]
+ALGO_CHOICES = ["con", "bfs", "det-bfs", "sssp", "cc", "st", "widest"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -67,6 +69,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--scale", type=int, default=10, help="log2 vertex universe")
     run.add_argument("--edge-factor", type=int, default=16)
     run.add_argument("--algo", choices=ALGO_CHOICES, default="bfs")
+    run.add_argument("--backend", choices=["des", "mp"], default="des",
+                     help="des = single-process discrete-event simulation "
+                          "(virtual time, default); mp = one real OS "
+                          "process per rank over pipes (wall clock)")
+    run.add_argument("--ranks", type=int, default=None, metavar="N",
+                     help="total rank count (overrides "
+                          "--nodes * --ranks-per-node)")
     run.add_argument("--nodes", type=int, default=1)
     run.add_argument("--ranks-per-node", type=int, default=4)
     run.add_argument("--sources", type=int, default=1, help="S-T source count")
@@ -138,6 +147,8 @@ def _make_programs(algo: str, src: np.ndarray, sources: int):
         return [IncrementalSSSP()], [("sssp", source, None)], source
     if algo == "cc":
         return [IncrementalCC()], [], None
+    if algo == "widest":
+        return [WidestPath()], [("widest", source, None)], source
     st = MultiSTConnectivity()
     seen: list[int] = []
     for v in src:
@@ -202,7 +213,94 @@ def _run_mismatches(args, engine, source_info) -> list[str] | None:
         return verify_cc(engine, "cc")
     if args.algo == "st":
         return verify_st(engine, "st", source_info)
+    if args.algo == "widest":
+        return verify_widest(engine, "widest", source_info)
     return None
+
+
+def _run_mp(
+    args, chat, rng, src, dst, weights, label,
+    programs, init, source_info, n_ranks,
+) -> int:
+    """Execute ``run`` on the process-parallel backend."""
+    import json as json_mod
+
+    from repro.parallel import ParallelStateView, run_parallel
+
+    des_only = [
+        name for name, value in [
+            ("--faults", args.faults),
+            ("--trace", args.trace),
+            ("--metrics", args.metrics),
+            ("--snapshot-at", args.snapshot_at),
+            ("--sample-interval", args.sample_interval),
+            ("--freshness", args.freshness or None),
+        ] if value is not None
+    ]
+    if des_only:
+        chat(
+            f"backend mp: {', '.join(des_only)} need virtual time and are "
+            "only available on --backend des"
+        )
+        return 2
+    chat(f"backend: mp, {n_ranks} ranks (one OS process each)")
+    result = run_parallel(
+        programs,
+        split_streams(src, dst, n_ranks, weights=weights, rng=rng),
+        config=EngineConfig(n_ranks=n_ranks),
+        init=init,
+        collect_edges=args.verify,
+    )
+    rate = result.events_per_second
+    chat(
+        f"mp run: {result.source_events:,} events in "
+        f"{result.wall_seconds:.3f}s wall = {rate:,.0f} ev/s, "
+        f"{result.wire['wire_sent']:,} wire messages in "
+        f"{result.wire['frames_sent']:,} frames, "
+        f"{result.token_rounds} termination rounds"
+    )
+
+    mismatches = None
+    if args.verify:
+        if programs:
+            view = ParallelStateView(result)
+            mismatches = _run_mismatches(args, view, source_info)
+        if mismatches is None:
+            chat("verify: nothing to verify for construction-only")
+        elif mismatches:
+            chat(
+                f"VERIFY FAILED: {len(mismatches)} mismatches, "
+                f"e.g. {mismatches[0]}"
+            )
+        else:
+            chat("verify: OK (mp state equals static oracle)")
+
+    if args.json:
+        doc = {
+            "label": label,
+            "algo": args.algo,
+            "backend": "mp",
+            "n_ranks": n_ranks,
+            "events": int(len(src)),
+            "report": result.to_dict(),
+            "per_rank": [
+                {
+                    "rank": info["rank"],
+                    "source_events": info["counters"].source_events,
+                    "visits": info["counters"].visits,
+                    "num_edges": info["num_edges"],
+                    "wire": info["wire"],
+                }
+                for info in result.per_rank
+            ],
+            "verify": {
+                "requested": bool(args.verify),
+                "checked": bool(args.verify) and mismatches is not None,
+                "mismatches": len(mismatches) if mismatches is not None else 0,
+            },
+        }
+        print(json_mod.dumps(doc, indent=2))
+    return 1 if mismatches else 0
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -225,10 +323,21 @@ def cmd_run(args: argparse.Namespace) -> int:
     else:
         src, dst, label = _generate(args, rng)
         chat(f"graph: {label}, {len(src):,} edges")
-        weights = pairwise_weights(src, dst, 1, 50) if args.algo == "sssp" else None
+        weights = (
+            pairwise_weights(src, dst, 1, 50)
+            if args.algo in ("sssp", "widest") else None
+        )
 
     programs, init, source_info = _make_programs(args.algo, src, args.sources)
-    n_ranks = args.nodes * args.ranks_per_node
+    n_ranks = (
+        args.ranks if args.ranks is not None
+        else args.nodes * args.ranks_per_node
+    )
+    if args.backend == "mp":
+        return _run_mp(
+            args, chat, rng, src, dst, weights, label,
+            programs, init, source_info, n_ranks,
+        )
     cost = CostModel(ranks_per_node=args.ranks_per_node)
     # Estimated makespan (same formula the snapshot scheduler uses):
     # drives --snapshot-at and the auto sampling period.
@@ -409,6 +518,7 @@ def cmd_run(args: argparse.Namespace) -> int:
     if args.json:
         doc = {
             **{k: v for k, v in meta.items() if k != "cost_model"},
+            "backend": "des",
             "report": report.to_dict(),
             "collections": [
                 # CollectionResult.prog is the engine's program index;

@@ -28,7 +28,7 @@ traversal over the dynamic structure lacks (``dynamic_read_penalty``).
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field, replace
+from dataclasses import asdict, dataclass, replace
 
 from repro.util.validate import check_non_negative, check_positive
 

@@ -149,6 +149,12 @@ class ArrayEventStream(EventStream):
     def __len__(self) -> int:
         return self._n
 
+    def columns(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray | None]:
+        """The backing ``(src, dst, weights, kinds)`` columns (kinds is
+        None for pure-ADD streams) — picklable as-is, so a stream can be
+        shipped to an mp worker and rebuilt with ``ArrayEventStream(*cols)``."""
+        return (self._src, self._dst, self._weights, self._kinds)
+
     def reset(self) -> None:
         """Rewind to the beginning (streams are replayable for re-runs)."""
         self._cursor = 0

@@ -1,0 +1,35 @@
+"""True multi-core execution: each rank as a real OS process.
+
+The DES backend (:mod:`repro.comm.des`) models the paper's HavoqGT/MPI
+middleware in virtual time on one core; this package *executes* it —
+the same unmodified :class:`~repro.runtime.engine.DynamicEngine` visitor
+switch runs in one process per rank over the same consistent-hash
+partition, exchanging pickled visitor batches over a duplex-pipe mesh,
+with quiescence proved by the four-counter detector adapted to an async
+token ring.  Because the five REMO algorithms converge to a unique
+fixpoint under any event interleaving (§II-D/§IV), the mp backend's
+final state is bit-equal to the DES backend's and to the static oracle
+— which the differential tests in ``tests/parallel/`` enforce.
+
+Entry points: :func:`run_parallel` (library), ``python -m repro run
+--backend mp --ranks N`` (CLI).
+"""
+
+from repro.parallel.loop import PipeLoop
+from repro.parallel.runner import (
+    ParallelResult,
+    ParallelStateView,
+    run_parallel,
+)
+from repro.parallel.termination import RingCoordinator, RingMember
+from repro.parallel.wire import WireConfig
+
+__all__ = [
+    "PipeLoop",
+    "ParallelResult",
+    "ParallelStateView",
+    "RingCoordinator",
+    "RingMember",
+    "WireConfig",
+    "run_parallel",
+]

@@ -1,0 +1,320 @@
+"""The engine-facing message loop of one worker process.
+
+:class:`PipeLoop` duck-types the sender-side surface of
+:class:`repro.comm.des.DiscreteEventLoop` that :class:`DynamicEngine`
+drives — ``send`` / ``send_many`` / ``consume`` / ``now`` / ``clock`` /
+``set_source_active`` — so a completely unmodified engine runs over real
+OS pipes: the worker builds a normal engine, swaps ``engine.loop`` for a
+PipeLoop, and pumps messages itself (:mod:`repro.parallel.worker`).
+
+Differences from the simulated NIC, by design:
+
+* **No virtual-time scheduling.**  ``clock`` still exists (the engine
+  charges modelled CPU into it, which keeps the cost-model accounting
+  meaningful per rank), but it never drives execution — the OS scheduler
+  does.  ``send_at`` / ``schedule_alarm`` therefore raise: anything
+  needing virtual-time injection (collections, fault plans, telemetry
+  sampling) is DES-only.
+* **Outbuffers instead of per-send latency.**  Cross-rank messages
+  buffer per destination and travel as one pickled batch frame when the
+  buffer reaches a flush threshold (or the worker goes idle) — the PR 1
+  ``send_many`` batching moved onto the wire.  The threshold can be
+  *randomized per flush* (``jitter_rng``), which the differential tests
+  use to shake out interleaving assumptions on top of genuine OS
+  scheduling noise.
+* **Coalescing on both ends of the wire.**  A send carrying a
+  ``coalesce_key`` squashes into a pending same-key message in the
+  destination's outbuffer (sender side) exactly like the DES inbox
+  window; on the receive side, drained UPDATE frames squash into
+  same-key messages still queued in the local inbox using the engine's
+  per-program lifted combiners (§II-D, "combined or squashed in the
+  visitor queue").
+* **Termination counters live here.**  ``wire_sent`` counts a message
+  when its batch is handed to the wire, ``wire_received`` when it is
+  drained into the inbox — the monotone cumulative pair the token ring
+  (:mod:`repro.parallel.termination`) sums.  Local (self-rank) messages
+  never touch the wire counters; they cannot be in flight.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable
+
+from repro.runtime.visitor import VT_UPDATE
+
+# UPDATE layout: (VT_UPDATE, prog, target, vis_id, vis_val, weight, ver).
+# The drain-side coalesce key mirrors the engine's send-side key
+# (prog, target, sender_vertex, version).
+_UPD_KEY = (1, 2, 3, 6)
+
+
+class _Pending:
+    """A buffered message open for in-place payload combining (the
+    outbuffer/inbox analogue of the DES ``_PendingCoalescible``)."""
+
+    __slots__ = ("msg", "key")
+
+    def __init__(self, msg: Any, key: Any):
+        self.msg = msg
+        self.key = key
+
+
+class PipeLoop:
+    """One rank's message plumbing over real pipes.
+
+    ``transmit(dst_rank, frame)`` is injected (the worker points it at
+    its sender thread; unit tests at a list), so the loop itself is
+    process-free and deterministic under test.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        n_ranks: int,
+        transmit: Callable[[int, tuple], None],
+        batch_max: int = 512,
+        jitter_rng: Any = None,
+        inbox_coalesce: bool = True,
+    ):
+        if not 0 <= rank < n_ranks:
+            raise ValueError(f"rank {rank} out of range for {n_ranks} ranks")
+        if batch_max < 1:
+            raise ValueError(f"batch_max must be >= 1, got {batch_max}")
+        self.rank = rank
+        self.n_ranks = n_ranks
+        self._transmit = transmit
+        self.batch_max = batch_max
+        self._jitter_rng = jitter_rng
+        self._inbox_coalesce = inbox_coalesce
+        self._threshold = self._draw_threshold()
+        # Engine-facing state: full-width clock (only this rank's slot
+        # advances) and the counters the engine reads.
+        self.clock = [0.0] * n_ranks
+        self.messages_squashed = 0  # sender-side squashes (outbuf + local)
+        self.batch_sends = 0  # send_many invocations
+        self.stall_time = 0.0  # no backpressure model on real pipes
+        self.in_flight = 0  # local inbox depth (engine never reads it)
+        self.transport = None  # reliable delivery is DES-only
+        self._source_active = [False] * n_ranks
+        # Local inbox: FIFO of raw messages / _Pending holders, plus the
+        # coalesce index over still-queued UPDATE holders.
+        self._inbox: deque[Any] = deque()
+        self._inbox_index: dict[Any, _Pending] = {}
+        self.inbox_squashed = 0  # receive-side squashes at drain
+        # Per-destination outbuffers of _Pending holders + key index.
+        self._outbuf: list[list[_Pending]] = [[] for _ in range(n_ranks)]
+        self._outbuf_index: list[dict[Any, _Pending]] = [{} for _ in range(n_ranks)]
+        # Per-program lifted UPDATE combiners for drain-side coalescing
+        # (the worker hands over ``engine._combiners`` after building
+        # the engine; empty = no receive-side squashing).
+        self._combiners: list[Callable[[tuple, tuple], tuple] | None] = []
+        # Cumulative wire counters for the termination token ring.
+        self.wire_sent = 0
+        self.wire_received = 0
+        self.frames_sent = 0
+        self.frames_received = 0
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def set_update_combiners(
+        self, combiners: list[Callable[[tuple, tuple], tuple] | None]
+    ) -> None:
+        """Adopt the engine's per-program UPDATE combiners for
+        receive-side coalescing."""
+        self._combiners = list(combiners)
+
+    def _draw_threshold(self) -> int:
+        if self._jitter_rng is None:
+            return self.batch_max
+        return int(self._jitter_rng.integers(1, self.batch_max + 1))
+
+    # ------------------------------------------------------------------
+    # DiscreteEventLoop surface the engine drives
+    # ------------------------------------------------------------------
+    def now(self, rank: int) -> float:
+        return self.clock[rank]
+
+    def max_time(self) -> float:
+        return max(self.clock)
+
+    def consume(self, rank: int, cpu_seconds: float) -> None:
+        self.clock[rank] += cpu_seconds
+
+    def set_source_active(self, rank: int, active: bool) -> None:
+        self._source_active[rank] = bool(active)
+
+    def send(
+        self,
+        src_rank: int,
+        dst_rank: int,
+        msg: Any,
+        priority: bool = False,
+        coalesce_key: Any = None,
+        combiner: Callable[[Any, Any], Any] | None = None,
+    ) -> bool:
+        """Queue one message; True iff squashed into a pending one."""
+        if src_rank != self.rank:
+            raise RuntimeError(f"rank {self.rank} cannot send as rank {src_rank}")
+        return self._enqueue(dst_rank, msg, coalesce_key, combiner)
+
+    def send_many(
+        self,
+        src_rank: int,
+        batch: list[tuple[int, Any, Any]],
+        combiner: Callable[[Any, Any], Any] | None = None,
+    ) -> list[bool]:
+        """Queue a fan-out batch; one squashed-bool per message."""
+        if src_rank != self.rank:
+            raise RuntimeError(f"rank {self.rank} cannot send as rank {src_rank}")
+        self.batch_sends += 1
+        return [
+            self._enqueue(dst_rank, msg, key, combiner) for dst_rank, msg, key in batch
+        ]
+
+    def send_at(self, *_args: Any, **_kwargs: Any) -> None:
+        raise RuntimeError(
+            "send_at needs virtual time; the mp backend has none "
+            "(collections/faults/telemetry are DES-only)"
+        )
+
+    def schedule_alarm(self, *_args: Any, **_kwargs: Any) -> None:
+        raise RuntimeError(
+            "schedule_alarm needs virtual time; the mp backend has none "
+            "(collections/faults/telemetry are DES-only)"
+        )
+
+    def attach_transport(self, _transport: Any) -> None:
+        raise RuntimeError("reliable-delivery transport is DES-only")
+
+    # ------------------------------------------------------------------
+    # queueing internals
+    # ------------------------------------------------------------------
+    def _enqueue(
+        self,
+        dst_rank: int,
+        msg: Any,
+        key: Any,
+        combiner: Callable[[Any, Any], Any] | None,
+    ) -> bool:
+        if dst_rank == self.rank:
+            # Self-sends bypass the wire into the local inbox, with the
+            # same coalescing window a DES self-send gets.
+            if key is not None and combiner is not None:
+                entry = self._inbox_index.get(key)
+                if entry is not None:
+                    entry.msg = combiner(entry.msg, msg)
+                    self.messages_squashed += 1
+                    return True
+                entry = _Pending(msg, key)
+                self._inbox_index[key] = entry
+                self._inbox.append(entry)
+            else:
+                self._inbox.append(msg)
+            return False
+        if key is not None and combiner is not None:
+            entry = self._outbuf_index[dst_rank].get(key)
+            if entry is not None:
+                entry.msg = combiner(entry.msg, msg)
+                self.messages_squashed += 1
+                return True
+            entry = _Pending(msg, key)
+            self._outbuf_index[dst_rank][key] = entry
+            self._outbuf[dst_rank].append(entry)
+        else:
+            self._outbuf[dst_rank].append(_Pending(msg, None))
+        if len(self._outbuf[dst_rank]) >= self._threshold:
+            self.flush(dst_rank)
+        return False
+
+    def flush(self, dst_rank: int) -> None:
+        """Hand one destination's buffered messages to the wire as a
+        single batch frame.  This is where ``wire_sent`` counts them:
+        from here on, an undelivered message is visible to the token
+        ring as ``sent > received``."""
+        buf = self._outbuf[dst_rank]
+        if not buf:
+            return
+        batch = [p.msg for p in buf]
+        buf.clear()
+        self._outbuf_index[dst_rank].clear()
+        self.wire_sent += len(batch)
+        self.frames_sent += 1
+        self._transmit(dst_rank, ("B", self.rank, batch))
+        self._threshold = self._draw_threshold()
+
+    def flush_all(self) -> None:
+        for dst_rank in range(self.n_ranks):
+            self.flush(dst_rank)
+
+    @property
+    def outbuffered(self) -> int:
+        """Messages buffered but not yet entrusted to the wire.  Must be
+        zero before the rank may report itself idle to the token ring."""
+        return sum(len(b) for b in self._outbuf)
+
+    # ------------------------------------------------------------------
+    # receive side (driven by the worker)
+    # ------------------------------------------------------------------
+    def deliver_batch(self, _sender: int, batch: list[Any]) -> None:
+        """Drain one arrived batch frame into the local inbox.
+
+        ``wire_received`` counts every message — including ones that
+        squash into a queued same-key UPDATE, which the DES books as
+        received-at-squash-time for exactly this balance reason."""
+        self.frames_received += 1
+        self.wire_received += len(batch)
+        combiners = self._combiners
+        coalesce = self._inbox_coalesce and bool(combiners)
+        for msg in batch:
+            if coalesce and msg[0] == VT_UPDATE:
+                combiner = combiners[msg[1]]
+                if combiner is not None:
+                    key = (msg[1], msg[2], msg[3], msg[6])
+                    entry = self._inbox_index.get(key)
+                    if entry is not None:
+                        entry.msg = combiner(entry.msg, msg)
+                        self.inbox_squashed += 1
+                        continue
+                    entry = _Pending(msg, key)
+                    self._inbox_index[key] = entry
+                    self._inbox.append(entry)
+                    continue
+            self._inbox.append(msg)
+
+    def enqueue_local(self, msg: Any) -> None:
+        """Seed the inbox directly (ownership-gated init visitors)."""
+        self._inbox.append(msg)
+
+    def pop_message(self) -> Any | None:
+        """Dequeue the next inbox message (closing its coalescing
+        window), or None when the inbox is empty."""
+        if not self._inbox:
+            return None
+        msg = self._inbox.popleft()
+        if type(msg) is _Pending:
+            if msg.key is not None and self._inbox_index.get(msg.key) is msg:
+                del self._inbox_index[msg.key]
+            return msg.msg
+        return msg
+
+    @property
+    def inbox_len(self) -> int:
+        return len(self._inbox)
+
+    def idle(self) -> bool:
+        """Locally idle: nothing queued in, nothing buffered out.  The
+        worker adds the stream-exhausted condition on top."""
+        return not self._inbox and self.outbuffered == 0
+
+    def wire_stats(self) -> dict[str, int]:
+        return {
+            "wire_sent": self.wire_sent,
+            "wire_received": self.wire_received,
+            "frames_sent": self.frames_sent,
+            "frames_received": self.frames_received,
+            "outbuf_squashed": self.messages_squashed,
+            "inbox_squashed": self.inbox_squashed,
+            "batch_sends": self.batch_sends,
+        }

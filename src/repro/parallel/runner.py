@@ -1,0 +1,288 @@
+"""Parent-side orchestration of the process-parallel backend.
+
+:func:`run_parallel` is the mp analogue of building a
+:class:`DynamicEngine` and calling ``run()``: it wires a duplex-pipe
+mesh (one :func:`multiprocessing.Pipe` per unordered rank pair, so each
+direction is a private FIFO channel), spawns one worker process per
+rank (:func:`repro.parallel.worker.worker_main`), and blocks until
+every rank ships its post-quiescence state harvest back on its parent
+pipe.  The returned :class:`ParallelResult` merges the per-rank values,
+counters and wire statistics; :class:`ParallelStateView` adapts it to
+the ``engine``-shaped surface the :mod:`repro.analytics.verify` oracles
+expect, so the exact same checkers validate both backends.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field, replace
+from multiprocessing.connection import wait as conn_wait
+from typing import Any, Iterable
+
+import numpy as np
+
+from repro.comm.costmodel import RankCounters
+from repro.events.stream import ArrayEventStream, EventStream
+from repro.parallel.wire import FRAME_ERROR, FRAME_RESULT, WireConfig
+from repro.parallel.worker import worker_main
+from repro.partition.partitioners import ConsistentHashPartitioner
+from repro.runtime.engine import EngineConfig
+
+_WIRE_AGG_KEYS = (
+    "wire_sent",
+    "wire_received",
+    "frames_sent",
+    "frames_received",
+    "outbuf_squashed",
+    "inbox_squashed",
+    "batch_sends",
+)
+
+
+@dataclass
+class ParallelResult:
+    """The merged outcome of one process-parallel run."""
+
+    n_ranks: int
+    prog_names: list[str]
+    states: dict[str, dict[int, Any]]
+    counters: RankCounters
+    wire: dict[str, int]
+    per_rank: list[dict[str, Any]]
+    token_rounds: int
+    wall_seconds: float
+    partition_salt: int
+    edges: list[tuple[int, int, int]] | None = None
+    partitioner: ConsistentHashPartitioner = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.partitioner = ConsistentHashPartitioner(
+            self.n_ranks, salt=self.partition_salt
+        )
+
+    def state(self, prog: int | str) -> dict[int, Any]:
+        """A program's merged final state (name or index)."""
+        name = self.prog_names[prog] if isinstance(prog, int) else prog
+        return self.states[name]
+
+    @property
+    def source_events(self) -> int:
+        return self.counters.source_events
+
+    @property
+    def events_per_second(self) -> float:
+        """Wall-clock topology events/s (the scaling metric)."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.source_events / self.wall_seconds
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "backend": "mp",
+            "ranks": self.n_ranks,
+            "source_events": self.source_events,
+            "wall_seconds": self.wall_seconds,
+            "wall_events_per_second": self.events_per_second,
+            "token_rounds": self.token_rounds,
+            "wire": dict(self.wire),
+            "visits": self.counters.visits,
+            "edge_inserts": self.counters.edge_inserts,
+            "updates_squashed": self.counters.updates_squashed,
+            "busy_time": self.counters.busy_time,
+        }
+
+
+class _DegreeView:
+    """Just enough of a rank's store for ``verify_cc``: degree lookup
+    over the harvested edge list."""
+
+    def __init__(self, edges: list[tuple[int, int, int]]):
+        self._degree: dict[int, int] = {}
+        for src, _dst, _w in edges:
+            self._degree[src] = self._degree.get(src, 0) + 1
+
+    def degree(self, vertex: int) -> int:
+        return self._degree.get(vertex, 0)
+
+
+class ParallelStateView:
+    """Adapts a :class:`ParallelResult` to the engine-shaped surface the
+    static-oracle checkers consume (``state`` / ``edges`` /
+    ``partitioner`` / ``stores[r].degree``).  Requires the run to have
+    harvested topology (``run_parallel(..., collect_edges=True)``)."""
+
+    def __init__(self, result: ParallelResult):
+        if result.edges is None:
+            raise ValueError(
+                "verification needs harvested topology: run with "
+                "collect_edges=True"
+            )
+        self._result = result
+        self.partitioner = result.partitioner
+        self.stores = [
+            _DegreeView(rank_info["edges"]) for rank_info in result.per_rank
+        ]
+
+    def state(self, prog: int | str) -> dict[int, Any]:
+        return self._result.state(prog)
+
+    def edges(self) -> Iterable[tuple[int, int, int]]:
+        return iter(self._result.edges or [])
+
+
+def _stream_columns(stream: EventStream) -> tuple:
+    """Materialise a stream as picklable int64 columns
+    ``(src, dst, weights, kinds)`` for shipping to a worker."""
+    if isinstance(stream, ArrayEventStream):
+        return stream.columns()
+    events = list(stream)
+    src = np.array([e[1] for e in events], dtype=np.int64)
+    dst = np.array([e[2] for e in events], dtype=np.int64)
+    weights = np.array([e[3] for e in events], dtype=np.int64)
+    kinds = np.array([e[0] for e in events], dtype=np.int64)
+    return (src, dst, weights, kinds)
+
+
+def run_parallel(
+    programs: list,
+    streams: list[EventStream],
+    config: EngineConfig | None = None,
+    wire: WireConfig | None = None,
+    init: list[tuple[Any, int, Any]] | None = None,
+    collect_edges: bool = False,
+    timeout: float = 600.0,
+) -> ParallelResult:
+    """Execute one saturation run with each rank as a real OS process.
+
+    ``programs``/``streams``/``config``/``init`` mirror the DES setup
+    (``init`` is the ``(prog, vertex, payload)`` triples normally passed
+    to ``engine.init_program``); programs must be picklable.  DES-only
+    config (bulk ingest, telemetry) is stripped before shipping.
+    ``collect_edges`` additionally harvests every rank's stored edges so
+    the result can be verified against the static oracle.
+    """
+    config = config or EngineConfig()
+    wire = wire or WireConfig()
+    n = config.n_ranks
+    if len(streams) > n:
+        raise ValueError(f"{len(streams)} streams for {n} ranks")
+    worker_config = replace(
+        config, bulk_ingest=False, trace=False, sample_interval=None
+    )
+    columns: list[tuple | None] = [None] * n
+    for r, stream in enumerate(streams):
+        columns[r] = _stream_columns(stream)
+
+    ctx = multiprocessing.get_context(wire.start_method)
+    # Pipe mesh: one duplex pipe per unordered rank pair; each end is a
+    # private FIFO channel in each direction.
+    peer_conns: list[dict[int, Any]] = [{} for _ in range(n)]
+    for i in range(n):
+        for j in range(i + 1, n):
+            a, b = ctx.Pipe(duplex=True)
+            peer_conns[i][j] = a
+            peer_conns[j][i] = b
+    parent_conns = []
+    procs = []
+    t0 = time.perf_counter()
+    try:
+        for rank in range(n):
+            parent_end, child_end = ctx.Pipe(duplex=False)
+            proc = ctx.Process(
+                target=worker_main,
+                name=f"repro-mp-rank{rank}",
+                args=(
+                    rank,
+                    n,
+                    child_end,
+                    peer_conns[rank],
+                    programs,
+                    worker_config,
+                    columns[rank],
+                    list(init or []),
+                    wire,
+                    collect_edges,
+                ),
+                daemon=True,
+            )
+            proc.start()
+            parent_conns.append(parent_end)
+            procs.append(proc)
+            child_end.close()
+        # The children hold duplicated handles now; release the parent's.
+        for rank in range(n):
+            for conn in peer_conns[rank].values():
+                conn.close()
+            peer_conns[rank] = {}
+
+        results: dict[int, dict[str, Any]] = {}
+        deadline = t0 + timeout
+        pending = {parent_conns[r]: r for r in range(n)}
+        while pending:
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"mp run exceeded {timeout}s with ranks "
+                    f"{sorted(pending.values())} outstanding"
+                )
+            ready = conn_wait(list(pending), timeout=min(remaining, 1.0))
+            for conn in ready:
+                rank = pending.pop(conn)
+                try:
+                    frame = conn.recv()
+                except EOFError:
+                    raise RuntimeError(
+                        f"rank {rank} died without reporting "
+                        f"(exitcode={procs[rank].exitcode})"
+                    ) from None
+                if frame[0] == FRAME_ERROR:
+                    raise RuntimeError(f"rank {frame[1]} failed:\n{frame[2]}")
+                assert frame[0] == FRAME_RESULT
+                results[rank] = frame[1]
+        wall = time.perf_counter() - t0
+        for proc in procs:
+            proc.join(timeout=30.0)
+    finally:
+        for conn in parent_conns:
+            conn.close()
+        for rank_conns in peer_conns:
+            for conn in rank_conns.values():
+                conn.close()
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=10.0)
+
+    per_rank = [results[r] for r in range(n)]
+    prog_names = [p.name for p in programs]
+    states: dict[str, dict[int, Any]] = {name: {} for name in prog_names}
+    counters = RankCounters()
+    wire_totals = dict.fromkeys(_WIRE_AGG_KEYS, 0)
+    edges: list[tuple[int, int, int]] | None = [] if collect_edges else None
+    for info in per_rank:
+        for name, values in info["values"].items():
+            states[name].update(values)
+        counters = counters.merge(info["counters"])
+        for key in _WIRE_AGG_KEYS:
+            wire_totals[key] += info["wire"][key]
+        if edges is not None:
+            edges.extend(info["edges"])
+    if wire_totals["wire_sent"] != wire_totals["wire_received"]:
+        raise AssertionError(
+            "wire counters unbalanced after a concluded run: "
+            f"{wire_totals['wire_sent']} sent vs "
+            f"{wire_totals['wire_received']} received"
+        )
+    return ParallelResult(
+        n_ranks=n,
+        prog_names=prog_names,
+        states=states,
+        counters=counters,
+        wire=wire_totals,
+        per_rank=per_rank,
+        token_rounds=per_rank[0].get("token_rounds", 0),
+        wall_seconds=wall,
+        partition_salt=config.partition_salt,
+        edges=edges,
+    )

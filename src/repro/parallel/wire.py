@@ -1,0 +1,106 @@
+"""Wire format and sender plumbing of the process-parallel backend.
+
+Frames are small picklable tuples with a one-character tag first, one
+pickle per frame (``multiprocessing.Connection.send``), carried over a
+per-(src,dst) duplex pipe mesh:
+
+========= ==========================================================
+tag       payload
+========= ==========================================================
+``"B"``   ``("B", sender_rank, [visitor, ...])`` — a batch of plain
+          visitor tuples in :mod:`repro.runtime.visitor` layout (the
+          DES wire format travels unchanged)
+``"T"``   ``("T", round, sent_sum, recv_sum, all_idle)`` — the
+          termination token (:mod:`repro.parallel.termination`)
+``"S"``   ``("S",)`` — stop: rank 0 concluded termination
+========= ==========================================================
+
+Worker → parent frames (on the dedicated parent pipe):
+
+========= ==========================================================
+``"R"``   ``("R", result_dict)`` — the rank's final state harvest
+``"E"``   ``("E", rank, traceback_str)`` — the worker died
+========= ==========================================================
+
+Every worker sends through one background :class:`Sender` thread fed by
+an unbounded queue, so the main thread never blocks on a full pipe
+buffer.  ``Connection.send`` blocks once the OS buffer fills; with
+direct sends, a cycle of ranks all blocked sending into each other
+deadlocks even though every rank would eventually drain.  The thread
+preserves enqueue order, so each (src, dst) channel stays FIFO — the
+ordering the engine's §III-C edge-creation serialisation relies on.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from dataclasses import dataclass
+
+FRAME_BATCH = "B"
+FRAME_TOKEN = "T"
+FRAME_STOP = "S"
+FRAME_RESULT = "R"
+FRAME_ERROR = "E"
+
+
+@dataclass(frozen=True)
+class WireConfig:
+    """Knobs of the pipe transport and the worker's service loop."""
+
+    batch_max: int = 512  # outbuffer flush threshold (messages)
+    jitter_seed: int | None = None  # randomize flush thresholds (tests)
+    dispatch_slice: int = 512  # inbox messages dispatched per loop turn
+    pull_slice: int = 128  # stream events pulled per loop turn
+    poll_timeout: float = 0.02  # blocking-wait seconds when idle
+    start_method: str = "spawn"  # multiprocessing context
+    inbox_coalesce: bool = True  # receive-side UPDATE squashing
+
+    def __post_init__(self) -> None:
+        if self.batch_max < 1:
+            raise ValueError(f"batch_max must be >= 1, got {self.batch_max}")
+        if self.dispatch_slice < 1 or self.pull_slice < 1:
+            raise ValueError("dispatch_slice and pull_slice must be >= 1")
+        if self.poll_timeout <= 0:
+            raise ValueError("poll_timeout must be > 0")
+
+
+class Sender(threading.Thread):
+    """The per-worker background send thread.
+
+    ``put(dst, frame)`` never blocks; frames to one destination leave in
+    put order.  A wire error (peer died) is captured and re-raised in
+    the worker's main thread at the next :meth:`check`.
+    """
+
+    def __init__(self, conns: dict[int, object]):
+        super().__init__(name="repro-mp-sender", daemon=True)
+        self._conns = conns
+        self._queue: queue.SimpleQueue = queue.SimpleQueue()
+        self._error: BaseException | None = None
+
+    def put(self, dst_rank: int, frame: tuple) -> None:
+        self._queue.put((dst_rank, frame))
+
+    def run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            dst_rank, frame = item
+            try:
+                self._conns[dst_rank].send(frame)  # type: ignore[attr-defined]
+            except BaseException as exc:  # noqa: BLE001 - reported to main thread
+                self._error = exc
+                return
+
+    def check(self) -> None:
+        """Re-raise (in the caller) any error the thread hit."""
+        if self._error is not None:
+            raise RuntimeError("wire send failed") from self._error
+
+    def close(self) -> None:
+        """Flush outstanding frames and stop the thread."""
+        self._queue.put(None)
+        self.join(timeout=30.0)
+        self.check()

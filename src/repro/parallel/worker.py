@@ -1,0 +1,249 @@
+"""The per-rank worker process of the mp backend.
+
+Each worker builds a completely ordinary :class:`DynamicEngine` (full
+``n_ranks``-wide configuration, so partitioning, counters and combiners
+are bit-identical to the DES run), then swaps ``engine.loop`` for a
+:class:`repro.parallel.loop.PipeLoop` and acts as exactly one rank of
+it: every ``engine.on_message`` / ``engine.pull_source`` call happens
+with this process's rank, so only this rank's store/value/counter slots
+are ever touched — the cluster state is the disjoint union of the
+workers' slots, harvested by the parent after termination.
+
+Service loop, per turn: drain arrived pipe frames into the inbox →
+dispatch a slice of inbox visitors → pull a slice of stream events when
+the inbox is empty → if nothing progressed, force-flush the outbuffers
+and do token-ring work, blocking briefly on the pipes when there is
+truly nothing to do.  Quiescence is concluded by rank 0's
+:class:`RingCoordinator` (two consecutive balanced all-idle token
+rounds), after which rank 0 broadcasts STOP and every worker ships its
+final state to the parent — the cross-process, quiescence-based
+collection of the run's end state.
+"""
+
+from __future__ import annotations
+
+import traceback
+from multiprocessing.connection import wait as conn_wait
+from typing import Any
+
+from repro.parallel.loop import PipeLoop
+from repro.parallel.termination import RingCoordinator, RingMember
+from repro.parallel.wire import (
+    FRAME_BATCH,
+    FRAME_ERROR,
+    FRAME_RESULT,
+    FRAME_STOP,
+    FRAME_TOKEN,
+    Sender,
+    WireConfig,
+)
+from repro.runtime.engine import DynamicEngine, EngineConfig
+from repro.runtime.visitor import VT_INIT
+
+
+def worker_main(
+    rank: int,
+    n_ranks: int,
+    parent_conn: Any,
+    peer_conns: dict[int, Any],
+    programs: list,
+    config: EngineConfig,
+    stream_columns: tuple | None,
+    init: list[tuple[Any, int, Any]],
+    wire: WireConfig,
+    collect_edges: bool,
+) -> None:
+    """Process entry point (top-level, so it is spawn-picklable)."""
+    try:
+        result = _run_rank(
+            rank,
+            n_ranks,
+            peer_conns,
+            programs,
+            config,
+            stream_columns,
+            init,
+            wire,
+            collect_edges,
+        )
+        parent_conn.send((FRAME_RESULT, result))
+    except BaseException:  # noqa: BLE001 - forwarded to the parent
+        try:
+            parent_conn.send((FRAME_ERROR, rank, traceback.format_exc()))
+        except (BrokenPipeError, OSError):
+            pass
+        raise
+    finally:
+        parent_conn.close()
+        for conn in peer_conns.values():
+            conn.close()
+
+
+def _run_rank(
+    rank: int,
+    n_ranks: int,
+    peer_conns: dict[int, Any],
+    programs: list,
+    config: EngineConfig,
+    stream_columns: tuple | None,
+    init: list[tuple[Any, int, Any]],
+    wire: WireConfig,
+    collect_edges: bool,
+) -> dict[str, Any]:
+    if config.bulk_ingest or config.trace or config.sample_interval is not None:
+        raise ValueError(
+            "mp workers need a sanitized EngineConfig "
+            "(bulk_ingest/trace/sample_interval are DES-only)"
+        )
+    engine = DynamicEngine(programs, config)
+    sender = Sender(peer_conns)
+    jitter_rng = None
+    if wire.jitter_seed is not None:
+        import numpy as np
+
+        jitter_rng = np.random.default_rng((wire.jitter_seed, rank))
+    loop = PipeLoop(
+        rank,
+        n_ranks,
+        sender.put,
+        batch_max=wire.batch_max,
+        jitter_rng=jitter_rng,
+        inbox_coalesce=wire.inbox_coalesce,
+    )
+    loop.set_update_combiners(engine._combiners)
+    engine.loop = loop
+    stream_live = False
+    if stream_columns is not None:
+        from repro.events.stream import ArrayEventStream
+
+        engine.attach_stream(rank, ArrayEventStream(*stream_columns))
+        stream_live = True
+    # Ownership-gated seeding: every worker gets the full init list but
+    # enqueues only visitors for vertices it owns (version 0 — inits
+    # precede any stream cut by definition).
+    for prog, vertex, payload in init:
+        if engine.partitioner.owner(vertex) == rank:
+            p = engine.prog_index(prog)
+            loop.enqueue_local((VT_INIT, p, vertex, payload, 0))
+    sender.start()
+
+    ring = RingMember(rank, n_ranks)
+    coordinator = RingCoordinator() if rank == 0 else None
+    conns = list(peer_conns.values())
+    round_id = 0
+    token_outstanding = False
+    stopping = False
+
+    def drain(block: bool) -> bool:
+        nonlocal stopping
+        got = False
+        ready = (
+            conn_wait(conns, wire.poll_timeout)
+            if block and conns
+            else [c for c in conns if c.poll()]
+        )
+        for conn in ready:
+            while conn.poll():
+                try:
+                    frame = conn.recv()
+                except EOFError:
+                    # The peer exited: that only happens after it saw
+                    # rank 0's STOP, i.e. after global termination was
+                    # proved, so our own STOP is queued (rank 0 sends
+                    # it before closing) — stop polling this channel.
+                    conns.remove(conn)
+                    break
+                tag = frame[0]
+                if tag == FRAME_BATCH:
+                    loop.deliver_batch(frame[1], frame[2])
+                    got = True
+                elif tag == FRAME_TOKEN:
+                    ring.receive(frame[1], frame[2], frame[3], frame[4])
+                elif tag == FRAME_STOP:
+                    stopping = True
+                    return got
+                else:
+                    raise ValueError(f"unknown wire frame {frame!r}")
+        return got
+
+    while not stopping:
+        sender.check()
+        progressed = drain(block=False)
+        for _ in range(wire.dispatch_slice):
+            msg = loop.pop_message()
+            if msg is None:
+                break
+            engine.on_message(loop, rank, msg)
+            progressed = True
+        if stream_live and loop.inbox_len == 0:
+            for _ in range(wire.pull_slice):
+                if not engine.pull_source(loop, rank):
+                    stream_live = False
+                    break
+                progressed = True
+        if progressed:
+            continue
+        # Locally quiescent this turn: entrust everything buffered to
+        # the wire (making it visible to the counters), then do ring
+        # work.  Idle = empty inbox ∧ empty outbuffers ∧ dead stream.
+        loop.flush_all()
+        idle = loop.idle() and not stream_live
+        if rank == 0:
+            assert coordinator is not None  # rank 0 always builds one
+            payload = ring.take_if_idle(loop.wire_sent, loop.wire_received, idle)
+            if payload is not None:
+                token_outstanding = False
+                _, sent_sum, recv_sum, all_idle = payload
+                if coordinator.round_complete(sent_sum, recv_sum, all_idle):
+                    for other in peer_conns:
+                        sender.put(other, (FRAME_STOP,))
+                    stopping = True
+                    continue
+            if idle and not token_outstanding and not ring.holding:
+                round_id += 1
+                payload = ring.originate(round_id, loop.wire_sent, loop.wire_received)
+                if n_ranks == 1:
+                    # Degenerate ring: the round completes immediately.
+                    if coordinator.round_complete(payload[1], payload[2], True):
+                        stopping = True
+                        continue
+                else:
+                    token_outstanding = True
+                    sender.put(ring.next_rank, (FRAME_TOKEN,) + payload)
+        else:
+            payload = ring.take_if_idle(loop.wire_sent, loop.wire_received, idle)
+            if payload is not None:
+                sender.put(ring.next_rank, (FRAME_TOKEN,) + payload)
+        if idle:
+            drain(block=True)
+
+    # Termination was proved globally: nothing may remain queued here.
+    if loop.inbox_len or loop.outbuffered or stream_live:
+        raise AssertionError(
+            f"rank {rank} stopped non-quiescent: inbox={loop.inbox_len} "
+            f"outbuf={loop.outbuffered} stream_live={stream_live}"
+        )
+    sender.close()
+
+    # Drain-side squashes are this rank's visitor-queue combines; fold
+    # them into the same counter the DES books sender-observed squashes
+    # to, so totals are comparable across backends.
+    engine.counters[rank].updates_squashed += loop.inbox_squashed
+    counters = engine.counters[0]
+    for c in engine.counters[1:]:
+        counters = counters.merge(c)
+    result: dict[str, Any] = {
+        "rank": rank,
+        "values": {
+            prog.name: dict(engine.values[rank][p])
+            for p, prog in enumerate(engine.programs)
+        },
+        "counters": counters,
+        "wire": loop.wire_stats(),
+        "virtual_time": loop.clock[rank],
+        "num_edges": engine.stores[rank].num_edges,
+        "edges": list(engine.stores[rank].edges()) if collect_edges else None,
+    }
+    if coordinator is not None:
+        result["token_rounds"] = coordinator.rounds_completed
+    return result

@@ -261,9 +261,19 @@ class DynamicEngine(RankHandler):
                 f"{len(streams)} streams for {self.config.n_ranks} ranks"
             )
         for r, s in enumerate(streams):
-            self._streams[r] = s
-            self._stream_done[r] = False
-            self.loop.set_source_active(r, True)
+            self.attach_stream(r, s)
+
+    def attach_stream(self, rank: int, stream: EventStream) -> None:
+        """Attach one stream to one specific rank.
+
+        The mp backend's workers use this directly: each worker only
+        holds (and pulls) its own rank's stream slice.
+        """
+        if not 0 <= rank < self.config.n_ranks:
+            raise ValueError(f"rank {rank} out of range")
+        self._streams[rank] = stream
+        self._stream_done[rank] = False
+        self.loop.set_source_active(rank, True)
         self._streams_add_only = all(
             s.add_only for s in self._streams if s is not None
         )

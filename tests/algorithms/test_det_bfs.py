@@ -1,7 +1,6 @@
 """Tests for DeterministicBFS — the §II-D deterministic-tree clause."""
 
 import numpy as np
-import pytest
 
 from repro import DynamicEngine, EngineConfig, INF, ListEventStream, split_streams
 from repro.algorithms.bfs_parents import SELF_PARENT, DeterministicBFS

@@ -3,9 +3,6 @@
 import dataclasses
 import json
 
-import numpy as np
-import pytest
-
 from repro import (
     DynamicEngine,
     EngineConfig,

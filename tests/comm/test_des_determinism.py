@@ -1,7 +1,6 @@
 """Simulation-quality tests: determinism and clock sanity of the DES."""
 
 import numpy as np
-import pytest
 
 from repro import DynamicEngine, EngineConfig, IncrementalBFS, IncrementalCC, split_streams
 from repro.generators import rmat_edges

@@ -1,7 +1,5 @@
 """Kernel tests: control-lane priority and sender backpressure."""
 
-import pytest
-
 from repro.comm.costmodel import CostModel
 from repro.comm.des import DiscreteEventLoop, RankHandler
 
@@ -74,7 +72,6 @@ class TestBackpressure:
         # Preload 10 messages into rank 1's inbox (past capacity 5).
         for i in range(10):
             loop.send_at(0.0, 0, 1, i)
-        before = loop.clock[0]
         loop.clock[0] = 0.0
         loop._acting_rank = 0
         loop.send(0, 1, "over")

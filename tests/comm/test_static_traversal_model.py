@@ -17,7 +17,6 @@ class TestStaticTraversalTime:
 
     def test_intra_node_ranks_pay_local_messages(self):
         cm = CostModel(ranks_per_node=4)
-        t1 = cm.static_traversal_time(0, 1000, n_ranks=1)
         t4 = cm.static_traversal_time(0, 1000, n_ranks=4)
         # 4 ranks split the scan work but add local-message overhead.
         per_edge_4 = t4 * 4 / 1000

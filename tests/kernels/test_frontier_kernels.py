@@ -1,7 +1,6 @@
 """Unit tests of the array frontier kernels (repro.kernels.frontier)."""
 
 import numpy as np
-import pytest
 
 from repro.algorithms.base import INF
 from repro.algorithms.cc import component_label

@@ -1,7 +1,5 @@
 """Tests for trace/metrics serialisation, validation, and rendering."""
 
-import json
-
 import pytest
 
 from repro.obs import (

@@ -1,0 +1,109 @@
+"""CLI surface of the process-parallel backend (``--backend mp``)."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro.cli import build_parser, main
+
+
+def repro_env():
+    src_path = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_path
+    return env
+
+
+class TestParser:
+    def test_backend_defaults_to_des(self):
+        args = build_parser().parse_args(["run"])
+        assert args.backend == "des"
+        assert args.ranks is None
+
+    def test_backend_choices(self):
+        args = build_parser().parse_args(["run", "--backend", "mp", "--ranks", "4"])
+        assert args.backend == "mp" and args.ranks == 4
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--backend", "mpi"])
+
+    def test_widest_algo_accepted(self):
+        args = build_parser().parse_args(["run", "--algo", "widest"])
+        assert args.algo == "widest"
+
+
+class TestDesOnlyFlagsRejected:
+    """mp has no virtual time: telemetry/fault/snapshot flags exit 2
+    before any process is spawned."""
+
+    @pytest.mark.parametrize(
+        "flags",
+        [
+            ["--trace", "t.json"],
+            ["--metrics", "m.jsonl"],
+            ["--faults", "drop=0.1"],
+            ["--snapshot-at", "0.5"],
+            ["--sample-interval", "0.1"],
+            ["--freshness"],
+        ],
+    )
+    def test_rejected_with_exit_2(self, flags, capsys):
+        code = main(["run", "--backend", "mp", "--scale", "6", *flags])
+        assert code == 2
+        assert "only available on --backend des" in capsys.readouterr().out
+
+
+def run_cli_json(*argv):
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True, text=True, env=repro_env(), timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return json.loads(proc.stdout)
+
+
+class TestMpRun:
+    """One real spawn-backed CLI run, exactly as the CI smoke job uses
+    it, asserting on the machine-readable document."""
+
+    @pytest.fixture(scope="class")
+    def doc(self):
+        return run_cli_json(
+            "run", "--backend", "mp", "--ranks", "2", "--algo", "cc",
+            "--scale", "6", "--edge-factor", "4", "--verify", "--json",
+        )
+
+    def test_document_shape(self, doc):
+        assert doc["backend"] == "mp"
+        assert doc["n_ranks"] == 2
+        assert doc["algo"] == "cc"
+        assert doc["events"] > 0
+        assert len(doc["per_rank"]) == 2
+
+    def test_verification_ran_clean(self, doc):
+        assert doc["verify"] == {
+            "requested": True, "checked": True, "mismatches": 0,
+        }
+
+    def test_report_counters(self, doc):
+        report = doc["report"]
+        assert report["backend"] == "mp"
+        assert report["source_events"] == doc["events"]
+        assert report["token_rounds"] >= 2
+        assert report["wire"]["wire_sent"] == report["wire"]["wire_received"]
+        assert report["wall_seconds"] > 0
+        assert report["wall_events_per_second"] > 0
+
+    def test_per_rank_events_partition_the_stream(self, doc):
+        assert sum(r["source_events"] for r in doc["per_rank"]) == doc["events"]
+
+    def test_widest_runs_on_both_backends(self):
+        for backend_args in (["--backend", "mp", "--ranks", "2"], []):
+            doc = run_cli_json(
+                "run", *backend_args, "--algo", "widest",
+                "--scale", "6", "--edge-factor", "4", "--verify", "--json",
+            )
+            assert doc["verify"]["mismatches"] == 0

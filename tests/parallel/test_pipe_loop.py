@@ -1,0 +1,206 @@
+"""Unit tests for the worker-side pipe loop (no processes involved).
+
+``PipeLoop`` takes an injected ``transmit`` callable, so these tests
+capture wire frames in a plain list and exercise the batching,
+jittered flush thresholds, both-ends coalescing, termination counters
+and the deliberately-refused DES-only surface.
+"""
+
+import pytest
+
+from repro.parallel.loop import PipeLoop
+from repro.runtime.visitor import VT_UPDATE
+
+
+def make_loop(rank=0, n_ranks=3, **kw):
+    frames = []
+    loop = PipeLoop(rank, n_ranks, lambda dst, f: frames.append((dst, f)), **kw)
+    return loop, frames
+
+
+def upd(prog, target, vis_id, vis_val, weight=1, ver=0):
+    return (VT_UPDATE, prog, target, vis_id, vis_val, weight, ver)
+
+
+def min_combiner(old, new):
+    return old if old[4] <= new[4] else new
+
+
+class TestConstruction:
+    def test_rank_out_of_range(self):
+        with pytest.raises(ValueError):
+            PipeLoop(3, 3, lambda *_: None)
+
+    def test_batch_max_validated(self):
+        with pytest.raises(ValueError):
+            PipeLoop(0, 2, lambda *_: None, batch_max=0)
+
+    def test_cannot_impersonate_another_rank(self):
+        loop, _ = make_loop(rank=1)
+        with pytest.raises(RuntimeError):
+            loop.send(0, 2, ("x",))
+        with pytest.raises(RuntimeError):
+            loop.send_many(2, [(0, ("x",), None)])
+
+
+class TestBatching:
+    def test_messages_buffer_until_threshold(self):
+        loop, frames = make_loop(batch_max=3)
+        loop.send(0, 1, ("a",))
+        loop.send(0, 1, ("b",))
+        assert frames == [] and loop.outbuffered == 2
+        loop.send(0, 1, ("c",))
+        assert frames == [(1, ("B", 0, [("a",), ("b",), ("c",)]))]
+        assert loop.outbuffered == 0
+        assert loop.wire_sent == 3 and loop.frames_sent == 1
+
+    def test_buffers_are_per_destination(self):
+        loop, frames = make_loop(batch_max=2)
+        loop.send(0, 1, ("a",))
+        loop.send(0, 2, ("b",))
+        assert frames == []  # neither destination reached the threshold
+        loop.send(0, 2, ("c",))
+        assert frames == [(2, ("B", 0, [("b",), ("c",)]))]
+
+    def test_flush_all_drains_every_buffer(self):
+        loop, frames = make_loop(batch_max=100)
+        loop.send(0, 1, ("a",))
+        loop.send(0, 2, ("b",))
+        loop.flush_all()
+        assert {dst for dst, _ in frames} == {1, 2}
+        assert loop.outbuffered == 0 and loop.idle()
+
+    def test_send_many_counts_one_batch(self):
+        loop, frames = make_loop(batch_max=10)
+        out = loop.send_many(0, [(1, ("a",), None), (2, ("b",), None)])
+        assert out == [False, False]
+        assert loop.batch_sends == 1
+
+    def test_jittered_thresholds_redrawn_per_flush(self):
+        class ScriptedRNG:
+            def __init__(self, values):
+                self.values = list(values)
+
+            def integers(self, lo, hi):
+                assert (lo, hi) == (1, 5)  # batch_max + 1
+                return self.values.pop(0)
+
+        loop, frames = make_loop(batch_max=4, jitter_rng=ScriptedRNG([2, 4, 1, 3]))
+        loop.send(0, 1, ("a",))
+        assert frames == []
+        loop.send(0, 1, ("b",))  # hits threshold 2
+        assert len(frames) == 1
+        for i in range(3):
+            loop.send(0, 1, (f"c{i}",))
+        assert len(frames) == 1  # next threshold is 4
+        loop.send(0, 1, ("d",))
+        assert len(frames) == 2
+        loop.send(0, 1, ("e",))  # threshold 1: immediate
+        assert len(frames) == 3
+
+
+class TestSenderSideCoalescing:
+    def test_same_key_squashes_in_outbuffer(self):
+        loop, frames = make_loop(batch_max=10)
+        a, b = upd(0, 5, 2, 9), upd(0, 5, 2, 4)
+        assert loop.send(0, 1, a, coalesce_key=("k",), combiner=min_combiner) is False
+        assert loop.send(0, 1, b, coalesce_key=("k",), combiner=min_combiner) is True
+        assert loop.messages_squashed == 1
+        loop.flush(1)
+        assert frames == [(1, ("B", 0, [b]))]
+        assert loop.wire_sent == 1  # the squashed message never hit the wire
+
+    def test_flush_closes_the_coalescing_window(self):
+        loop, frames = make_loop(batch_max=10)
+        loop.send(0, 1, upd(0, 5, 2, 9), coalesce_key=("k",), combiner=min_combiner)
+        loop.flush(1)
+        squashed = loop.send(
+            0, 1, upd(0, 5, 2, 4), coalesce_key=("k",), combiner=min_combiner
+        )
+        assert squashed is False  # previous occupant already on the wire
+
+    def test_self_sends_coalesce_in_the_inbox(self):
+        loop, frames = make_loop(rank=1)
+        a, b = upd(0, 5, 2, 9), upd(0, 5, 2, 4)
+        assert loop.send(1, 1, a, coalesce_key=("k",), combiner=min_combiner) is False
+        assert loop.send(1, 1, b, coalesce_key=("k",), combiner=min_combiner) is True
+        assert frames == [] and loop.wire_sent == 0  # never touches the wire
+        assert loop.inbox_len == 1
+        assert loop.pop_message() == b
+        assert loop.pop_message() is None
+
+
+class TestReceiveSide:
+    def test_wire_received_counts_every_message(self):
+        loop, _ = make_loop()
+        loop.deliver_batch(1, [("a",), ("b",)])
+        assert loop.wire_received == 2 and loop.frames_received == 1
+        assert loop.inbox_len == 2
+
+    def test_drain_squashes_into_queued_updates(self):
+        loop, _ = make_loop()
+        loop.set_update_combiners([min_combiner])
+        loop.deliver_batch(1, [upd(0, 5, 2, 9)])
+        loop.deliver_batch(2, [upd(0, 5, 2, 4)])
+        assert loop.inbox_squashed == 1 and loop.inbox_len == 1
+        assert loop.wire_received == 2  # squashed messages still count
+        assert loop.pop_message() == upd(0, 5, 2, 4)
+
+    def test_different_versions_do_not_squash(self):
+        loop, _ = make_loop()
+        loop.set_update_combiners([min_combiner])
+        loop.deliver_batch(1, [upd(0, 5, 2, 9, ver=0), upd(0, 5, 2, 4, ver=1)])
+        assert loop.inbox_squashed == 0 and loop.inbox_len == 2
+
+    def test_pop_closes_the_drain_window(self):
+        loop, _ = make_loop()
+        loop.set_update_combiners([min_combiner])
+        loop.deliver_batch(1, [upd(0, 5, 2, 9)])
+        assert loop.pop_message() == upd(0, 5, 2, 9)
+        loop.deliver_batch(1, [upd(0, 5, 2, 4)])
+        assert loop.inbox_squashed == 0 and loop.inbox_len == 1
+
+    def test_inbox_coalesce_can_be_disabled(self):
+        loop, _ = make_loop(inbox_coalesce=False)
+        loop.set_update_combiners([min_combiner])
+        loop.deliver_batch(1, [upd(0, 5, 2, 9)])
+        loop.deliver_batch(1, [upd(0, 5, 2, 4)])
+        assert loop.inbox_squashed == 0 and loop.inbox_len == 2
+
+    def test_programs_without_combiner_never_squash(self):
+        loop, _ = make_loop()
+        loop.set_update_combiners([None])
+        loop.deliver_batch(1, [upd(0, 5, 2, 9)])
+        loop.deliver_batch(1, [upd(0, 5, 2, 4)])
+        assert loop.inbox_squashed == 0 and loop.inbox_len == 2
+
+    def test_enqueue_local_seeds_the_inbox(self):
+        loop, _ = make_loop()
+        loop.enqueue_local(("init",))
+        assert loop.inbox_len == 1 and not loop.idle()
+        assert loop.pop_message() == ("init",)
+        assert loop.idle()
+
+
+class TestEngineSurface:
+    def test_clock_is_full_width_and_consume_advances_it(self):
+        loop, _ = make_loop(rank=1, n_ranks=3)
+        assert loop.clock == [0.0, 0.0, 0.0]
+        loop.consume(1, 2.5)
+        assert loop.now(1) == 2.5 and loop.max_time() == 2.5
+
+    def test_wire_stats_shape(self):
+        loop, _ = make_loop()
+        assert set(loop.wire_stats()) == {
+            "wire_sent", "wire_received", "frames_sent", "frames_received",
+            "outbuf_squashed", "inbox_squashed", "batch_sends",
+        }
+
+    def test_virtual_time_surface_refused(self):
+        loop, _ = make_loop()
+        with pytest.raises(RuntimeError):
+            loop.send_at(0, 1, ("x",), 1.0)
+        with pytest.raises(RuntimeError):
+            loop.schedule_alarm(0, 1.0, lambda: None)
+        with pytest.raises(RuntimeError):
+            loop.attach_transport(object())

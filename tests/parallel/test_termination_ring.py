@@ -1,0 +1,200 @@
+"""Unit tests for the async token-ring termination state machines.
+
+The ring adapts the DES four-counter detector to real processes; the
+conclusion rule must stay *identical* to the coordinator-wave rule
+(two consecutive balanced all-idle rounds with unchanged totals), which
+the equivalence test pins down by driving both state machines with the
+same per-rank report sequences.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.comm.termination import TerminationCoordinator
+from repro.parallel.termination import RingCoordinator, RingMember
+
+
+class TestRingCoordinator:
+    def test_single_balanced_idle_round_does_not_terminate(self):
+        coord = RingCoordinator()
+        assert not coord.round_complete(10, 10, True)
+        assert not coord.terminated
+
+    def test_two_identical_balanced_idle_rounds_terminate(self):
+        coord = RingCoordinator()
+        assert not coord.round_complete(10, 10, True)
+        assert coord.round_complete(10, 10, True)
+        assert coord.terminated
+        assert coord.rounds_completed == 2
+
+    def test_changed_totals_reset_the_confirmation(self):
+        coord = RingCoordinator()
+        assert not coord.round_complete(10, 10, True)
+        assert not coord.round_complete(12, 12, True)  # traffic in between
+        assert coord.round_complete(12, 12, True)
+
+    def test_unbalanced_rounds_never_terminate(self):
+        coord = RingCoordinator()
+        for _ in range(5):
+            assert not coord.round_complete(10, 8, True)
+
+    def test_busy_rounds_never_terminate(self):
+        coord = RingCoordinator()
+        for _ in range(5):
+            assert not coord.round_complete(10, 10, False)
+
+    def test_busy_round_does_not_arm_confirmation(self):
+        # A (10, 10, False) round followed by (10, 10, True) must not
+        # conclude: the totals tuples differ in the idle flag.
+        coord = RingCoordinator()
+        assert not coord.round_complete(10, 10, False)
+        assert not coord.round_complete(10, 10, True)
+        assert coord.round_complete(10, 10, True)
+
+    def test_raises_after_conclusion(self):
+        coord = RingCoordinator()
+        coord.round_complete(0, 0, True)
+        assert coord.round_complete(0, 0, True)
+        with pytest.raises(RuntimeError):
+            coord.round_complete(0, 0, True)
+
+
+class TestRingMember:
+    def test_busy_rank_holds_the_token(self):
+        m = RingMember(1, 3)
+        m.receive(1, 5, 4, True)
+        assert m.holding
+        assert m.take_if_idle(2, 3, False) is None
+        assert m.holding
+
+    def test_idle_rank_folds_its_counters_in(self):
+        m = RingMember(1, 3)
+        m.receive(1, 5, 4, True)
+        assert m.take_if_idle(2, 3, True) == (1, 7, 7, True)
+        assert not m.holding
+
+    def test_rank0_does_not_refold_its_counters(self):
+        # Rank 0's counters entered at origination; re-adding them on
+        # token return would double-count.
+        m = RingMember(0, 3)
+        m.receive(1, 9, 9, True)
+        assert m.take_if_idle(4, 4, True) == (1, 9, 9, True)
+
+    def test_take_without_token_returns_none(self):
+        assert RingMember(2, 4).take_if_idle(0, 0, True) is None
+
+    def test_double_receive_raises(self):
+        m = RingMember(1, 2)
+        m.receive(1, 0, 0, True)
+        with pytest.raises(RuntimeError):
+            m.receive(2, 0, 0, True)
+
+    def test_only_rank0_originates(self):
+        with pytest.raises(RuntimeError):
+            RingMember(1, 2).originate(1, 0, 0)
+        assert RingMember(0, 2).originate(3, 6, 5) == (3, 6, 5, True)
+
+    def test_ring_order_wraps(self):
+        assert RingMember(0, 4).next_rank == 1
+        assert RingMember(3, 4).next_rank == 0
+        assert RingMember(0, 1).next_rank == 0
+
+    def test_rank_range_validated(self):
+        with pytest.raises(ValueError):
+            RingMember(4, 4)
+        with pytest.raises(ValueError):
+            RingMember(-1, 2)
+
+
+def simulate_ring(n_ranks, counters_per_round):
+    """Drive a full in-process token ring: ``counters_per_round[k][r]``
+    is rank r's cumulative ``(sent, received, idle)`` during round k.
+    Returns the round number at which the ring concluded (1-based), or
+    None if it never did."""
+    members = [RingMember(r, n_ranks) for r in range(n_ranks)]
+    coord = RingCoordinator()
+    for k, per_rank in enumerate(counters_per_round):
+        s0, r0, idle0 = per_rank[0]
+        if not idle0:
+            continue  # rank 0 only originates while idle
+        payload = members[0].originate(k + 1, s0, r0)
+        for rank in range(1, n_ranks):
+            members[rank].receive(*payload)
+            payload = members[rank].take_if_idle(*per_rank[rank])
+            assert payload is not None
+        if n_ranks > 1:
+            members[0].receive(*payload)
+            payload = members[0].take_if_idle(s0, r0, idle0)
+        if coord.round_complete(payload[1], payload[2], payload[3]):
+            return k + 1
+    return None
+
+
+class TestRingProtocol:
+    def test_quiescent_ring_concludes_in_two_rounds(self):
+        rounds = [[(5, 5, True), (3, 3, True), (2, 2, True)]] * 3
+        assert simulate_ring(3, rounds) == 2
+
+    def test_in_flight_message_defers_conclusion(self):
+        # Round 1 catches rank 2 before it drained one message
+        # (sent 10 > received 9 globally); rounds 2 and 3 are clean.
+        rounds = [
+            [(4, 4, True), (3, 3, True), (3, 2, True)],
+            [(4, 4, True), (3, 3, True), (3, 3, True)],
+            [(4, 4, True), (3, 3, True), (3, 3, True)],
+        ]
+        assert simulate_ring(3, rounds) == 3
+
+    def test_late_traffic_restarts_confirmation(self):
+        rounds = [
+            [(4, 4, True), (3, 3, True), (2, 2, True)],
+            [(6, 4, True), (3, 5, True), (2, 2, True)],  # new messages
+            [(6, 4, True), (3, 5, True), (2, 2, True)],
+            [(6, 4, True), (3, 5, True), (2, 2, True)],
+        ]
+        assert simulate_ring(3, rounds) == 3
+
+    def test_degenerate_single_rank_ring(self):
+        rounds = [[(0, 0, True)], [(0, 0, True)]]
+        assert simulate_ring(1, rounds) == 2
+
+
+# One wave of per-rank cumulative (sent, received, idle) reports.
+_report = st.tuples(
+    st.integers(0, 6), st.integers(0, 6), st.booleans()
+)
+
+
+@given(
+    n_ranks=st.integers(1, 5),
+    deltas=st.lists(st.lists(_report, min_size=5, max_size=5), min_size=1, max_size=8),
+    data=st.data(),
+)
+@settings(max_examples=200, deadline=None)
+def test_ring_rule_equivalent_to_des_wave_rule(n_ranks, deltas, data):
+    """Feeding identical cumulative per-rank reports to the DES
+    coordinator-wave detector and the ring coordinator must produce the
+    same verdict after every round."""
+    ring = RingCoordinator()
+    des = TerminationCoordinator(n_ranks)
+    cum = [(0, 0) for _ in range(n_ranks)]
+    for wave in deltas:
+        reports = []
+        for r in range(n_ranks):
+            ds, dr, idle = wave[r]
+            cum[r] = (cum[r][0] + ds, cum[r][1] + dr)
+            reports.append((cum[r][0], cum[r][1], idle))
+        wid = des.start_wave()
+        for r, (s, rcv, idle) in enumerate(reports):
+            des.report(wid, r, s, rcv, idle)
+        assert des.wave_complete()
+        des_verdict = des.conclude()
+        ring_verdict = ring.round_complete(
+            sum(s for s, _, _ in reports),
+            sum(rcv for _, rcv, _ in reports),
+            all(idle for _, _, idle in reports),
+        )
+        assert ring_verdict == des_verdict
+        if des_verdict:
+            break

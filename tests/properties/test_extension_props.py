@@ -16,7 +16,6 @@ from repro import (
 )
 from repro.algorithms.bfs_parents import DeterministicBFS
 from repro.algorithms.widest_path import static_widest_path
-from repro.analytics import verify_bfs
 from repro.analytics.verify import csr_from_engine
 from repro.events.types import ADD
 

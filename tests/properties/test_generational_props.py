@@ -13,7 +13,6 @@ from repro import (
     EngineConfig,
     GenerationalBFS,
     GenerationalCC,
-    INF,
     ListEventStream,
 )
 from repro.analytics import verify_bfs, verify_cc

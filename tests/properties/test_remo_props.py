@@ -12,8 +12,6 @@ claims must hold in every case:
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-import numpy as np
-
 from repro import (
     DynamicEngine,
     EngineConfig,

@@ -2,7 +2,6 @@
 directed deletes, re-running, and version bookkeeping."""
 
 import numpy as np
-import pytest
 
 from repro import (
     DegreeTracker,

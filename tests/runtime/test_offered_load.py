@@ -1,17 +1,15 @@
 """Tests for paced (offered-load) ingestion and vertex removal."""
 
 import numpy as np
-import pytest
 
 from repro import (
     DynamicEngine,
     EngineConfig,
     IncrementalBFS,
     IncrementalCC,
-    INF,
     ListEventStream,
 )
-from repro.analytics import verify_bfs, verify_cc
+from repro.analytics import verify_cc
 from repro.events.types import ADD, DELETE
 from repro.generators import erdos_renyi_edges
 

@@ -1,7 +1,6 @@
 """Tests for versioned (continuous) global state collection — §III-D."""
 
 import numpy as np
-import pytest
 
 from repro import (
     DegreeTracker,

@@ -2,7 +2,6 @@
 
 import networkx as nx
 import numpy as np
-import pytest
 
 from repro.algorithms.cc import component_label
 from repro.generators import erdos_renyi_edges, rmat_edges
