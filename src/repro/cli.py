@@ -76,6 +76,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--ranks", type=int, default=None, metavar="N",
                      help="total rank count (overrides "
                           "--nodes * --ranks-per-node)")
+    run.add_argument("--wire", choices=["shm", "pipe"], default="shm",
+                     help="mp data plane: shm = zero-copy shared-memory "
+                          "rings with vectorized kernels (default); pipe = "
+                          "legacy pickled-pipe fallback")
     run.add_argument("--nodes", type=int, default=1)
     run.add_argument("--ranks-per-node", type=int, default=4)
     run.add_argument("--sources", type=int, default=1, help="S-T source count")
@@ -225,7 +229,7 @@ def _run_mp(
     """Execute ``run`` on the process-parallel backend."""
     import json as json_mod
 
-    from repro.parallel import ParallelStateView, run_parallel
+    from repro.parallel import ParallelStateView, WireConfig, run_parallel
 
     des_only = [
         name for name, value in [
@@ -243,11 +247,15 @@ def _run_mp(
             "only available on --backend des"
         )
         return 2
-    chat(f"backend: mp, {n_ranks} ranks (one OS process each)")
+    chat(
+        f"backend: mp, {n_ranks} ranks (one OS process each), "
+        f"{args.wire} wire"
+    )
     result = run_parallel(
         programs,
         split_streams(src, dst, n_ranks, weights=weights, rng=rng),
         config=EngineConfig(n_ranks=n_ranks),
+        wire=WireConfig(kind=args.wire),
         init=init,
         collect_edges=args.verify,
     )
@@ -280,6 +288,7 @@ def _run_mp(
             "label": label,
             "algo": args.algo,
             "backend": "mp",
+            "wire": result.wire_kind,
             "n_ranks": n_ranks,
             "events": int(len(src)),
             "report": result.to_dict(),

@@ -63,6 +63,18 @@ class FrontierKernel:
         the per-event dicts (0 in ``incoming`` means unset)."""
         raise NotImplementedError
 
+    def materialize(self, values: np.ndarray, ids: np.ndarray) -> np.ndarray:
+        """Resolve the engine's 0 = "unset" sentinel to the value the
+        per-event callbacks would seed vertex ``ids`` with on first
+        touch (INF for min-plus, the salted hash label for CC)."""
+        raise NotImplementedError
+
+    def improves(self, candidate: np.ndarray, current: np.ndarray) -> np.ndarray:
+        """Strict-improvement mask: would adopting ``candidate`` change
+        ``current``?  Matches the program's ``on_update`` comparison
+        (both sides already materialized)."""
+        raise NotImplementedError
+
 
 class MinPlusKernel(FrontierKernel):
     """BFS / SSSP: min-converging path costs, identity ``INF``.
@@ -95,6 +107,12 @@ class MinPlusKernel(FrontierKernel):
         inc = np.where(incoming == 0, INF, incoming)
         return np.minimum(dense, inc)
 
+    def materialize(self, values: np.ndarray, ids: np.ndarray) -> np.ndarray:
+        return np.where(values == 0, INF, values)
+
+    def improves(self, candidate: np.ndarray, current: np.ndarray) -> np.ndarray:
+        return candidate < current
+
 
 class MaxLabelKernel(FrontierKernel):
     """CC: max-converging salted hash labels (Alg. 6, vectorized).
@@ -117,6 +135,14 @@ class MaxLabelKernel(FrontierKernel):
 
     def merge_dense(self, dense: np.ndarray, incoming: np.ndarray) -> np.ndarray:
         return np.maximum(dense, incoming)
+
+    def materialize(self, values: np.ndarray, ids: np.ndarray) -> np.ndarray:
+        if not (values == 0).any():
+            return values
+        return np.where(values == 0, self.init_values(ids), values)
+
+    def improves(self, candidate: np.ndarray, current: np.ndarray) -> np.ndarray:
+        return candidate > current
 
 
 # ----------------------------------------------------------------------

@@ -39,9 +39,15 @@ Differences from the simulated NIC, by design:
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
+
+import numpy as np
 
 from repro.runtime.visitor import VT_UPDATE
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for types only
+    from repro.parallel.codec import Codec
+    from repro.parallel.shm import ShmRing
 
 # UPDATE layout: (VT_UPDATE, prog, target, vis_id, vis_val, weight, ver).
 # The drain-side coalesce key mirrors the engine's send-side key
@@ -318,3 +324,224 @@ class PipeLoop:
             "inbox_squashed": self.inbox_squashed,
             "batch_sends": self.batch_sends,
         }
+
+
+class ShmLoop(PipeLoop):
+    """A :class:`PipeLoop` whose data plane is shm rings.
+
+    The engine-facing surface and all sender-side coalescing are
+    inherited unchanged; only :meth:`flush` differs — instead of one
+    pickled pipe frame per batch, buffered visitors are packed into
+    record slabs (:class:`repro.parallel.codec.Codec`) and pushed onto
+    the per-destination ring.  Pipes carry control frames only (token,
+    stop, and the ``"D"`` doorbell emitted when a push makes a ring go
+    empty→nonempty, so a receiver blocked in ``Connection.poll`` wakes
+    without busy-spinning on ring heads).
+
+    Two extra producer-side buffers join the termination accounting:
+
+    * an **overflow queue** per destination, holding slabs a full ring
+      refused (``try_push`` never blocks — a cycle of mutually-full
+      rings must not deadlock); :meth:`pump` retries them each turn;
+    * **record buffers** of structured arrays queued directly by the
+      vectorized drain (:mod:`repro.parallel.vecapply`), which never
+      pass through tuple space at all.
+
+    ``wire_sent`` counts a record only when its slab lands on the ring;
+    until then it is ``outbuffered``, so a rank with backpressured
+    slabs can never report idle to the token ring.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        n_ranks: int,
+        transmit: Callable[[int, tuple], None],
+        rings_out: dict[int, "ShmRing"],
+        codec: "Codec",
+        partitioner: Any,
+        batch_max: int = 512,
+        jitter_rng: Any = None,
+        inbox_coalesce: bool = True,
+    ):
+        super().__init__(
+            rank,
+            n_ranks,
+            transmit,
+            batch_max=batch_max,
+            jitter_rng=jitter_rng,
+            inbox_coalesce=inbox_coalesce,
+        )
+        self._rings_out = rings_out
+        self._codec = codec
+        self._partitioner = partitioner
+        self._overflow: dict[int, deque] = {d: deque() for d in rings_out}
+        self._overflow_records = 0
+        # dst -> list of (slab_kind, structured record array)
+        self._rec_out: dict[int, list[tuple[int, np.ndarray]]] = {
+            d: [] for d in rings_out
+        }
+        self._rec_counts: dict[int, int] = dict.fromkeys(rings_out, 0)
+        self.doorbells = 0
+
+    # -- producer side -------------------------------------------------
+    def flush(self, dst_rank: int) -> None:
+        """Encode one destination's buffered visitors + queued record
+        arrays into slabs and push them (overflowing without blocking).
+        Tuple-lane and record-lane messages each stay FIFO; their
+        relative interleave is fixed only here, which is safe — the two
+        lanes never carry messages whose order matters to §III-C (a
+        channel's topology events all travel on one lane)."""
+        buf = self._outbuf[dst_rank]
+        recs = self._rec_out.get(dst_rank)
+        if not buf and not recs:
+            return
+        slabs: list[tuple[int, int, Any]] = []
+        if buf:
+            batch = [p.msg for p in buf]
+            buf.clear()
+            self._outbuf_index[dst_rank].clear()
+            slabs.extend(self._codec.encode_batch(batch))
+        if recs:
+            slabs.extend((kind, len(arr), arr) for kind, arr in recs)
+            self._rec_out[dst_rank] = []
+            self._rec_counts[dst_rank] = 0
+        if dst_rank not in self._rings_out:
+            raise RuntimeError(
+                f"rank {self.rank} buffered messages for {dst_rank} "
+                "but has no ring to it"
+            )
+        self._push_slabs(dst_rank, slabs)
+        self._threshold = self._draw_threshold()
+
+    def _push_slabs(self, dst_rank: int, slabs: list[tuple[int, int, Any]]) -> None:
+        ring = self._rings_out[dst_rank]
+        ovf = self._overflow[dst_rank]
+        was_empty = ring.used() == 0
+        pushed = False
+        while ovf:
+            kind, n, payload = ovf[0]
+            if not ring.try_push(kind, n, payload, self.rank):
+                break
+            ovf.popleft()
+            self._overflow_records -= n
+            self.wire_sent += n
+            self.frames_sent += 1
+            pushed = True
+        for slab in slabs:
+            kind, n, payload = slab
+            # Overflow keeps FIFO: nothing may overtake a queued slab.
+            if ovf or not ring.try_push(kind, n, payload, self.rank):
+                ovf.append(slab)
+                self._overflow_records += n
+            else:
+                self.wire_sent += n
+                self.frames_sent += 1
+                pushed = True
+        if pushed and was_empty:
+            self.doorbells += 1
+            self._transmit(dst_rank, ("D", self.rank))
+
+    def pump(self) -> None:
+        """Retry backpressured slabs (called once per worker turn)."""
+        if self._overflow_records:
+            for dst_rank, ovf in self._overflow.items():
+                if ovf:
+                    self._push_slabs(dst_rank, [])
+
+    @property
+    def outbuffered(self) -> int:
+        return (
+            sum(len(b) for b in self._outbuf)
+            + self._overflow_records
+            + sum(self._rec_counts.values())
+        )
+
+    # -- vectorized-drain emission lanes -------------------------------
+    def queue_add(
+        self,
+        srcs: np.ndarray,
+        dsts: np.ndarray,
+        weights: np.ndarray,
+    ) -> None:
+        """Queue ADD records from bulk stream ingest, routed to each
+        source vertex's owner (never this rank — local events apply
+        in-drain)."""
+        from repro.parallel.codec import ADD_DTYPE
+        from repro.parallel.shm import K_ADD
+
+        owners = self._partitioner.owner_array(srcs)
+        for dst_rank in np.unique(owners).tolist():
+            sel = owners == dst_rank
+            arr = np.empty(int(sel.sum()), dtype=ADD_DTYPE)
+            arr["src"] = srcs[sel]
+            arr["dst"] = dsts[sel]
+            arr["weight"] = weights[sel]
+            arr["ver"] = 0
+            self._queue_records(dst_rank, K_ADD, arr)
+
+    def queue_update(
+        self,
+        prog: int,
+        targets: np.ndarray,
+        senders: np.ndarray,
+        values_u64: np.ndarray,
+        weights: np.ndarray,
+    ) -> None:
+        """Queue UPDATE records (value already a u64 bit pattern),
+        routed to each target's owner.  Callers only pass remote
+        targets — local offers are applied in-drain."""
+        from repro.parallel.codec import UPDATE_DTYPE
+        from repro.parallel.shm import K_UPDATE
+
+        owners = self._partitioner.owner_array(targets)
+        for dst_rank in np.unique(owners).tolist():
+            sel = owners == dst_rank
+            arr = np.empty(int(sel.sum()), dtype=UPDATE_DTYPE)
+            arr["prog"] = prog
+            arr["target"] = targets[sel]
+            arr["sender"] = senders[sel]
+            arr["value"] = values_u64[sel]
+            arr["weight"] = weights[sel]
+            arr["ver"] = 0
+            self._queue_records(dst_rank, K_UPDATE, arr)
+
+    def queue_radd(
+        self,
+        dsts: np.ndarray,
+        srcs: np.ndarray,
+        weights: np.ndarray,
+        vals_u64: np.ndarray,
+    ) -> None:
+        """Queue REVERSE_ADD records (``vals_u64`` one row per record),
+        routed to each destination vertex's owner."""
+        from repro.parallel.shm import K_RADD
+
+        owners = self._partitioner.owner_array(dsts)
+        for dst_rank in np.unique(owners).tolist():
+            sel = owners == dst_rank
+            arr = np.empty(int(sel.sum()), dtype=self._codec.radd_dtype)
+            arr["dst"] = dsts[sel]
+            arr["src"] = srcs[sel]
+            arr["weight"] = weights[sel]
+            arr["ver"] = 0
+            arr["vals"] = vals_u64[sel]
+            self._queue_records(dst_rank, K_RADD, arr)
+
+    def _queue_records(self, dst_rank: int, kind: int, arr: np.ndarray) -> None:
+        if dst_rank == self.rank:
+            raise RuntimeError("vectorized drain queued records to itself")
+        self._rec_out[dst_rank].append((kind, arr))
+        self._rec_counts[dst_rank] += len(arr)
+        if self._rec_counts[dst_rank] >= self._threshold:
+            self.flush(dst_rank)
+
+    # -- stats ---------------------------------------------------------
+    def wire_stats(self) -> dict[str, int]:
+        stats = super().wire_stats()
+        rings = self._rings_out.values()
+        stats["ring_stalls"] = sum(r.push_stalls for r in rings)
+        stats["ring_pushes"] = sum(r.pushes for r in rings)
+        stats["ring_hwm_bytes"] = max((r.hwm_bytes for r in rings), default=0)
+        stats["doorbells"] = self.doorbells
+        return stats

@@ -23,21 +23,12 @@ from typing import Any, Iterable
 import numpy as np
 
 from repro.comm.costmodel import RankCounters
-from repro.events.stream import ArrayEventStream, EventStream
+from repro.events.stream import DELETE, ArrayEventStream, EventStream
+from repro.parallel.shm import ShmRing, create_ring
 from repro.parallel.wire import FRAME_ERROR, FRAME_RESULT, WireConfig
 from repro.parallel.worker import worker_main
 from repro.partition.partitioners import ConsistentHashPartitioner
 from repro.runtime.engine import EngineConfig
-
-_WIRE_AGG_KEYS = (
-    "wire_sent",
-    "wire_received",
-    "frames_sent",
-    "frames_received",
-    "outbuf_squashed",
-    "inbox_squashed",
-    "batch_sends",
-)
 
 
 @dataclass
@@ -53,6 +44,7 @@ class ParallelResult:
     token_rounds: int
     wall_seconds: float
     partition_salt: int
+    wire_kind: str = "pipe"
     edges: list[tuple[int, int, int]] | None = None
     partitioner: ConsistentHashPartitioner = field(init=False)
 
@@ -80,6 +72,7 @@ class ParallelResult:
     def to_dict(self) -> dict[str, Any]:
         return {
             "backend": "mp",
+            "wire_kind": self.wire_kind,
             "ranks": self.n_ranks,
             "source_events": self.source_events,
             "wall_seconds": self.wall_seconds,
@@ -173,16 +166,32 @@ def run_parallel(
     columns: list[tuple | None] = [None] * n
     for r, stream in enumerate(streams):
         columns[r] = _stream_columns(stream)
+    # Add-only iff no stream column carries a DELETE (kinds None means
+    # pure ADD by construction) — gates the vectorized drain.
+    add_only = all(
+        cols is None or cols[3] is None or not bool((cols[3] == DELETE).any())
+        for cols in columns
+    )
 
     ctx = multiprocessing.get_context(wire.start_method)
     # Pipe mesh: one duplex pipe per unordered rank pair; each end is a
-    # private FIFO channel in each direction.
+    # private FIFO channel in each direction.  With the shm wire the
+    # pipes demote to control-only and the data plane is one SPSC ring
+    # per *ordered* pair, created here and unlinked in the finally.
     peer_conns: list[dict[int, Any]] = [{} for _ in range(n)]
     for i in range(n):
         for j in range(i + 1, n):
             a, b = ctx.Pipe(duplex=True)
             peer_conns[i][j] = a
             peer_conns[j][i] = b
+    rings: dict[tuple[int, int], ShmRing] = {}
+    ring_names: dict[tuple[int, int], str] | None = None
+    if wire.kind == "shm" and n > 1:
+        for i in range(n):
+            for j in range(n):
+                if i != j:
+                    rings[(i, j)] = create_ring(wire.ring_capacity)
+        ring_names = {pair: r.name for pair, r in rings.items()}
     parent_conns = []
     procs = []
     t0 = time.perf_counter()
@@ -203,6 +212,8 @@ def run_parallel(
                     list(init or []),
                     wire,
                     collect_edges,
+                    ring_names,
+                    add_only,
                 ),
                 daemon=True,
             )
@@ -253,19 +264,26 @@ def run_parallel(
             if proc.is_alive():
                 proc.terminate()
                 proc.join(timeout=10.0)
+        for r in rings.values():
+            r.destroy()
 
     per_rank = [results[r] for r in range(n)]
     prog_names = [p.name for p in programs]
     states: dict[str, dict[int, Any]] = {name: {} for name in prog_names}
     counters = RankCounters()
-    wire_totals = dict.fromkeys(_WIRE_AGG_KEYS, 0)
+    # Aggregate whatever stats the loops reported (the shm loop adds
+    # ring counters): sums, except high-water marks which take the max.
+    wire_totals: dict[str, int] = {}
     edges: list[tuple[int, int, int]] | None = [] if collect_edges else None
     for info in per_rank:
         for name, values in info["values"].items():
             states[name].update(values)
         counters = counters.merge(info["counters"])
-        for key in _WIRE_AGG_KEYS:
-            wire_totals[key] += info["wire"][key]
+        for key, value in info["wire"].items():
+            if "hwm" in key:
+                wire_totals[key] = max(wire_totals.get(key, 0), value)
+            else:
+                wire_totals[key] = wire_totals.get(key, 0) + value
         if edges is not None:
             edges.extend(info["edges"])
     if wire_totals["wire_sent"] != wire_totals["wire_received"]:
@@ -284,5 +302,6 @@ def run_parallel(
         token_rounds=per_rank[0].get("token_rounds", 0),
         wall_seconds=wall,
         partition_salt=config.partition_salt,
+        wire_kind=wire.kind,
         edges=edges,
     )

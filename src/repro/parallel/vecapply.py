@@ -1,0 +1,557 @@
+"""Vectorized application of shm wire slabs inside one mp rank.
+
+The per-event engine dispatches every remote visitor through the full
+callback machinery — context rebind, dict reads, Python-level compare,
+per-neighbour emission.  When every loaded program declares a
+``bulk_kernel``, a rank can instead drain whole record slabs
+(:mod:`repro.parallel.codec`) with array kernels: offers are scattered
+with ``np.minimum.at`` / ``np.maximum.at`` and adopted values are
+re-broadcast by the frontier relaxation of
+:mod:`repro.kernels.frontier`, exactly the §II-B argument that the REMO
+fixpoint is interleaving-independent.
+
+Bit-equality with the per-event path rests on five invariants:
+
+* **Same offers.**  Every record produces the offer its per-event
+  callback would: UPDATE offers ``relax(vis_val, weight)`` at the
+  target, REVERSE_ADD additionally inserts the reverse edge and seeds
+  the target, ADD inserts the edge, seeds the source, and synthesizes
+  the REVERSE_ADD toward the destination's owner.  Values carried to
+  other ranks may be *newer* (better) than the per-event interleaving
+  would have carried — monotone-safe over-approximation: any carried
+  value is a real vertex value relaxed along a real edge.
+* **Same seeds.**  Per-event callbacks write the materialized sentinel
+  (INF, the CC hash label) into the value dict on *first touch*, even
+  when nothing improves.  The drain tracks a ``written`` mask with the
+  same touch rules and writes those entries back.
+* **REVERSE_ADD notify-backs are load-bearing.**  When the edge's
+  destination does not adopt, the source's owner learns the
+  destination's (better) value only from the notify-back — it is
+  emitted from post-fixpoint values (again monotone-safe, and it never
+  misses one the per-event path would send: the destination's value
+  only improves, so the improvement test can only flip from False to
+  True).
+* **UPDATE notify-backs are redundant.**  Any value they would carry is
+  also delivered by the edge-creation exchange or by an adoption
+  broadcast over an edge both stores hold by then, so the drain skips
+  them — this is where most of the duplicated work of the per-event
+  path goes away.
+* **Synchronous write-back.**  Changed dense values fold into the
+  engine's value dicts at the end of *every* drain — per-event code
+  between drains reads those dicts (``_value_for_send`` on edge
+  inserts), and a stale read there silently drops propagation.
+
+Per-event activity between drains (local stream ingest stays
+per-event) is observed through two engine hooks — ``_value_write_hook``
+and ``_insert_hook`` — and folded into the dense mirror at the start of
+the next drain.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.parallel.codec import ADD_DTYPE, Codec
+from repro.parallel.shm import K_ADD, K_RADD, K_UPDATE
+
+
+def vec_eligible(engine, wire, add_only: bool) -> bool:
+    """Can this run drain slabs through the kernels?
+
+    Requires: shm wire with vectorize on, undirected mode, an add-only
+    stream (no deletes to invalidate the CSR mirror), at least one
+    program, and a bulk kernel + no nbr-cache on every program (one
+    per-event program forces the whole drain per-event — same rule as
+    the DES bulk-ingest controller).
+    """
+    if wire.kind != "shm" or not wire.vectorize or not add_only:
+        return False
+    if not engine.config.undirected or not engine.programs:
+        return False
+    return all(
+        p.bulk_kernel is not None and not p.needs_nbr_cache for p in engine.programs
+    )
+
+
+class VecApplier:
+    """Dense kernel-space mirror of one rank's algorithm state.
+
+    Raw vertex ids map onto a sorted id universe; per-program dense
+    arrays hold *materialized* values (never the 0 sentinel), a
+    ``written`` mask tracks which entries the per-event path would have
+    in its dict, and a rank-local edge list mirrors the adjacency store
+    as a CSR for adoption broadcasts.
+    """
+
+    def __init__(self, engine, rank: int, codec: Codec):
+        self.engine = engine
+        self.rank = rank
+        self.codec = codec
+        self.kernels = [p.bulk_kernel for p in engine.programs]
+        self.n_programs = len(self.kernels)
+        self.partitioner = engine.partitioner
+        one = lambda k, x: np.asarray([x], dtype=k.dtype)  # noqa: E731
+        self._minlike = [
+            bool(k.improves(one(k, 0), one(k, 1))[0]) for k in self.kernels
+        ]
+        # Sorted raw-id universe and per-entry rank ownership.
+        self._ids = np.empty(0, dtype=np.int64)
+        self._owner = np.empty(0, dtype=np.int64)
+        self._values = [np.empty(0, dtype=k.dtype) for k in self.kernels]
+        self._written = [np.empty(0, dtype=bool) for _ in self.kernels]
+        self._synced = [np.empty(0, dtype=k.dtype) for k in self.kernels]
+        # Rank-local directed edge mirror (raw ids) and its CSR cache.
+        self._e_tail = np.empty(0, dtype=np.int64)
+        self._e_head = np.empty(0, dtype=np.int64)
+        self._e_w = np.empty(0, dtype=np.int64)
+        self._csr: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        # Directed (tail, head) pairs ever seen — the first-insert test
+        # that keeps ``edge_inserts`` agreeing with the per-event store.
+        self._pairs: set[tuple[int, int]] = set()
+        # Per-event activity observed between drains.
+        self._dirty: list[dict[int, Any]] = [dict() for _ in self.kernels]
+        self._pending_edges: list[tuple[int, int, int]] = []
+        engine._value_write_hook = self._on_value_write
+        engine._insert_hook = self._on_insert
+        self.stats = {
+            "kernel_batches": 0,
+            "kernel_records": 0,
+            "kernel_relaxations": 0,
+            "kernel_rounds": 0,
+        }
+
+    # -- engine hooks --------------------------------------------------
+    def _on_value_write(self, prog: int, vertex: int, value: Any) -> None:
+        self._dirty[prog][vertex] = value
+
+    def _on_insert(self, src: int, dst: int, weight: int) -> None:
+        self._pending_edges.append((src, dst, weight))
+
+    # -- id universe ---------------------------------------------------
+    def _ensure_ids(self, raw: np.ndarray) -> None:
+        """Grow the universe to cover ``raw`` (new entries materialize).
+
+        Growing REMAPS every dense position — callers must not hold
+        indices across a call; :meth:`drain` grows once up front so all
+        downstream indices stay stable.
+        """
+        if raw.size == 0:
+            return
+        raw = np.unique(raw)
+        if self._ids.size:
+            fresh = raw[~np.isin(raw, self._ids, assume_unique=True)]
+        else:
+            fresh = raw
+        if fresh.size == 0:
+            return
+        ids = np.sort(np.concatenate([self._ids, fresh]))
+        old_pos = np.searchsorted(ids, self._ids)
+        fresh_pos = np.searchsorted(ids, fresh)
+        self._owner = self.partitioner.owner_array(ids)
+        for p, k in enumerate(self.kernels):
+            vals = np.empty(ids.shape, dtype=k.dtype)
+            written = np.zeros(ids.shape, dtype=bool)
+            synced = np.zeros(ids.shape, dtype=k.dtype)
+            vals[fresh_pos] = k.materialize(np.zeros(fresh.shape, dtype=k.dtype), fresh)
+            if self._ids.size:
+                vals[old_pos] = self._values[p]
+                written[old_pos] = self._written[p]
+                synced[old_pos] = self._synced[p]
+            self._values[p] = vals
+            self._written[p] = written
+            self._synced[p] = synced
+        self._ids = ids
+        self._csr = None  # CSR indices are positional
+
+    def _idx(self, raw: np.ndarray) -> np.ndarray:
+        return np.searchsorted(self._ids, raw)
+
+    # -- per-event fold ------------------------------------------------
+    def _fold_dirty(self) -> list[np.ndarray]:
+        """Fold per-event activity into the mirror; returns per-program
+        raw ids whose dense value improved.  Those must re-broadcast
+        over the mirror (the vec analogue of the per-event write's
+        ``update_nbrs`` — the engine's store is empty in vec mode, so
+        nothing else would carry them)."""
+        improved: list[np.ndarray] = [
+            np.empty(0, dtype=np.int64) for _ in self.kernels
+        ]
+        if self._pending_edges:
+            e = np.array(self._pending_edges, dtype=np.int64).reshape(-1, 3)
+            self._pending_edges = []
+            self._note_pairs(e[:, 0], e[:, 1], count=False)
+            self._append_edges(e[:, 0], e[:, 1], e[:, 2])
+        for p, k in enumerate(self.kernels):
+            items = self._dirty[p]
+            if not items:
+                continue
+            self._dirty[p] = dict()
+            raw = np.fromiter(items.keys(), dtype=np.int64, count=len(items))
+            vals = np.array(list(items.values()), dtype=k.dtype)
+            self._ensure_ids(raw)
+            idx = self._idx(raw)
+            merged = k.merge_dense(self._values[p][idx], vals)
+            ch = merged != self._values[p][idx]
+            self._values[p][idx] = merged
+            self._written[p][idx] = True
+            self._synced[p][idx] = vals
+            if ch.any():
+                improved[p] = raw[ch]
+        return improved
+
+    def _append_edges(
+        self, tails: np.ndarray, heads: np.ndarray, w: np.ndarray
+    ) -> None:
+        self._ensure_ids(np.concatenate([tails, heads]))
+        self._e_tail = np.concatenate([self._e_tail, tails])
+        self._e_head = np.concatenate([self._e_head, heads])
+        self._e_w = np.concatenate([self._e_w, np.asarray(w, dtype=np.int64)])
+        self._csr = None
+
+    def _note_pairs(self, tails: np.ndarray, heads: np.ndarray, count: bool) -> int:
+        """Record directed pairs; the returned first-insert count is the
+        per-event ``if new: edge_inserts += 1`` test, vectorized.  Pairs
+        the engine already stored itself fold in with ``count=False`` so
+        they are never double-counted."""
+        pairs = self._pairs
+        before = len(pairs)
+        pairs.update(zip(tails.tolist(), heads.tolist()))
+        return len(pairs) - before if count else 0
+
+    def _build_csr(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """CSR over the mirror in universe positions, dedup keep-last.
+
+        A re-added edge overwrites its weight in the store; keep-last
+        makes the mirror agree (monotone streams only re-add with
+        non-worsening weights, so a stale entry would merely offer a
+        losing candidate — but the mirror must not grow unboundedly).
+        """
+        if self._csr is not None:
+            return self._csr
+        n = self._ids.size
+        if self._e_tail.size == 0:
+            self._csr = (
+                np.zeros(n + 1, dtype=np.int64),
+                np.empty(0, np.int64),
+                np.empty(0, np.int64),
+            )
+            return self._csr
+        t = self._idx(self._e_tail)
+        h = self._idx(self._e_head)
+        key = t * np.int64(n) + h
+        _, rev_first = np.unique(key[::-1], return_index=True)
+        keep = (key.size - 1) - rev_first
+        t, h, w = t[keep], h[keep], self._e_w[keep]
+        order = np.argsort(t, kind="stable")
+        t, h, w = t[order], h[order], w[order]
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(t, minlength=n), out=indptr[1:])
+        self._csr = (indptr, h, w)
+        # Compact the stored mirror so dedup cost stays bounded.
+        self._e_tail, self._e_head, self._e_w = self._ids[t], self._ids[h], w
+        return self._csr
+
+    # -- stream ingest -------------------------------------------------
+    def ingest(
+        self, src: np.ndarray, dst: np.ndarray, weights: np.ndarray, loop
+    ) -> None:
+        """Bulk stream ingest — the vec analogue of ``pull_source``.
+
+        Events whose source this rank owns apply immediately as a
+        synthetic local ADD slab (one :meth:`drain`); the rest travel as
+        ADD records to their owners.  With ingest vectorized too, no
+        per-event visitor ever fires in a vec run, which is what lets
+        the engine's (pure-Python) adjacency store stay empty — the CSR
+        mirror is the rank's only topology, harvested by :meth:`edges`.
+        """
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        weights = np.asarray(weights, dtype=np.int64)
+        local = self.partitioner.owner_array(src) == self.rank
+        remote = ~local
+        if remote.any():
+            loop.queue_add(src[remote], dst[remote], weights[remote])
+        if local.any():
+            arr = np.empty(int(local.sum()), dtype=ADD_DTYPE)
+            arr["src"] = src[local]
+            arr["dst"] = dst[local]
+            arr["weight"] = weights[local]
+            arr["ver"] = 0
+            self.drain([(K_ADD, len(arr), self.rank, arr)], loop)
+
+    # -- topology harvest ----------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        return len(self._pairs)
+
+    def edges(self) -> list[tuple[int, int, int]]:
+        """This rank's stored directed edges with keep-last weights
+        (what ``store.edges()`` would have held)."""
+        self._build_csr()  # compacts the mirror to its deduped form
+        return list(
+            zip(self._e_tail.tolist(), self._e_head.tolist(), self._e_w.tolist())
+        )
+
+    # -- drain ---------------------------------------------------------
+    def drain(self, slabs: list[tuple[int, int, int, np.ndarray]], loop) -> int:
+        """Apply record slabs and queue resulting emissions on ``loop``.
+
+        Returns the number of records applied.
+        """
+        codec = self.codec
+        adds = [codec.add_view(p) for kind, _n, _s, p in slabs if kind == K_ADD]
+        radds = [codec.radd_view(p) for kind, _n, _s, p in slabs if kind == K_RADD]
+        upds = [codec.update_view(p) for kind, _n, _s, p in slabs if kind == K_UPDATE]
+        add = np.concatenate(adds) if adds else None
+        radd = np.concatenate(radds) if radds else None
+        upd = np.concatenate(upds) if upds else None
+        n_records = sum(int(a.size) for a in (add, radd, upd) if a is not None)
+        if n_records == 0:
+            return 0
+        fold_improved = self._fold_dirty()
+        self.stats["kernel_batches"] += 1
+        self.stats["kernel_records"] += n_records
+
+        # Grow the universe once; every index below stays stable.
+        parts = []
+        if add is not None:
+            parts += [add["src"].astype(np.int64), add["dst"].astype(np.int64)]
+        if radd is not None:
+            parts += [radd["dst"].astype(np.int64), radd["src"].astype(np.int64)]
+        if upd is not None:
+            parts.append(upd["target"].astype(np.int64))
+        self._ensure_ids(np.concatenate(parts))
+
+        engine = self.engine
+        counters = engine.counters[self.rank]
+        changed: list[list[np.ndarray]] = [[] for _ in self.kernels]
+        for p in range(self.n_programs):
+            if fold_improved[p].size:
+                changed[p].append(self._idx(fold_improved[p]))
+
+        # --- ADD slabs: insert at the source's owner, seed, re-emit ---
+        local_radd = None
+        if add is not None:
+            src = add["src"].astype(np.int64)
+            dst = add["dst"].astype(np.int64)
+            w = add["weight"].astype(np.int64)
+            counters.edge_inserts += self._note_pairs(src, dst, count=True)
+            self._append_edges(src, dst, w)
+            src_idx = self._idx(src)
+            for p in range(self.n_programs):
+                self._written[p][src_idx] = True  # on_add seeds the source
+            # Synthesize the REVERSE_ADD the per-event path emits,
+            # carrying the source's current (seeded) values.
+            vals = np.stack(
+                [
+                    self._values[p][src_idx].astype(np.uint64)
+                    for p in range(self.n_programs)
+                ],
+                axis=1,
+            )
+            local = self.partitioner.owner_array(dst) == self.rank
+            remote = ~local
+            if remote.any():
+                loop.queue_radd(dst[remote], src[remote], w[remote], vals[remote])
+            if local.any():
+                local_radd = (dst[local], src[local], w[local], vals[local])
+
+        # --- REVERSE_ADD: insert reverse edge, seed, offer ------------
+        nb_pending: list[
+            tuple[int, np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+        ] = []
+        radd_parts = []
+        if radd is not None:
+            radd_parts.append(
+                (
+                    radd["dst"].astype(np.int64),
+                    radd["src"].astype(np.int64),
+                    radd["weight"].astype(np.int64),
+                    radd["vals"].reshape(-1, self.n_programs),
+                )
+            )
+        if local_radd is not None:
+            radd_parts.append(local_radd)
+        if radd_parts:
+            rdst = np.concatenate([x[0] for x in radd_parts])
+            rsrc = np.concatenate([x[1] for x in radd_parts])
+            rw = np.concatenate([x[2] for x in radd_parts])
+            rvals = np.concatenate([x[3] for x in radd_parts])
+            counters.edge_inserts += self._note_pairs(rdst, rsrc, count=True)
+            self._append_edges(rdst, rsrc, rw)
+            dst_idx = self._idx(rdst)
+            for p, k in enumerate(self.kernels):
+                self._written[p][dst_idx] = True  # on_reverse_add seeds
+                vis = k.materialize(rvals[:, p].astype(k.dtype), rsrc)
+                cand = k.relax(vis, rw)
+                old = self._values[p][dst_idx].copy()
+                k.scatter(self._values[p], dst_idx, cand)
+                ch = self._values[p][dst_idx] != old
+                if ch.any():
+                    changed[p].append(dst_idx[ch])
+                nb_pending.append((p, dst_idx, rsrc, rw, vis))
+
+        # --- UPDATE: offer relax(vis_val, weight) at the target -------
+        if upd is not None:
+            progs = upd["prog"].astype(np.int64)
+            for p, k in enumerate(self.kernels):
+                sel = progs == p
+                if not sel.any():
+                    continue
+                target = upd["target"][sel].astype(np.int64)
+                sender = upd["sender"][sel].astype(np.int64)
+                value = upd["value"][sel].astype(k.dtype)
+                w = upd["weight"][sel].astype(np.int64)
+                t_idx = self._idx(target)
+                self._written[p][t_idx] = True  # on_update seeds
+                vis = k.materialize(value, sender)
+                cand = k.relax(vis, w)
+                old = self._values[p][t_idx].copy()
+                k.scatter(self._values[p], t_idx, cand)
+                ch = self._values[p][t_idx] != old
+                if ch.any():
+                    changed[p].append(t_idx[ch])
+
+        # --- frontier relaxation + adoption broadcast -----------------
+        for p in range(self.n_programs):
+            if changed[p]:
+                self._relax_and_broadcast(
+                    p, np.unique(np.concatenate(changed[p])), loop
+                )
+
+        # --- REVERSE_ADD notify-backs (load-bearing) ------------------
+        local_offers: list[list[np.ndarray]] = [[] for _ in self.kernels]
+        for p, dst_idx, rsrc, rw, vis in nb_pending:
+            k = self.kernels[p]
+            final = self._values[p][dst_idx]
+            cand_back = k.relax(final, rw)
+            mask = k.improves(cand_back, vis)
+            if not mask.any():
+                continue
+            src_m = rsrc[mask]
+            dst_m = self._ids[dst_idx[mask]]
+            back_m = cand_back[mask]
+            final_m = final[mask]
+            w_m = rw[mask]
+            remote = self.partitioner.owner_array(src_m) != self.rank
+            if remote.any():
+                loop.queue_update(
+                    p,
+                    src_m[remote],
+                    dst_m[remote],
+                    final_m[remote].astype(np.uint64),
+                    w_m[remote],
+                )
+            local = ~remote
+            if local.any():
+                s_idx = self._idx(src_m[local])
+                self._written[p][s_idx] = True
+                old = self._values[p][s_idx].copy()
+                k.scatter(self._values[p], s_idx, back_m[local])
+                ch = self._values[p][s_idx] != old
+                if ch.any():
+                    local_offers[p].append(s_idx[ch])
+        for p in range(self.n_programs):
+            if local_offers[p]:
+                self._relax_and_broadcast(
+                    p, np.unique(np.concatenate(local_offers[p])), loop
+                )
+
+        self._write_back()
+        return n_records
+
+    def _relax_and_broadcast(self, p: int, frontier: np.ndarray, loop) -> None:
+        """Relax ``frontier`` to the local fixpoint over the CSR mirror,
+        collecting UPDATE records for remote heads (the adoption
+        broadcast of Alg. 3, batched and §II-D-coalesced)."""
+        k = self.kernels[p]
+        indptr, heads, weights = self._build_csr()
+        values = self._values[p]
+        written = self._written[p]
+        owner = self._owner
+        rem_t: list[np.ndarray] = []
+        rem_s: list[np.ndarray] = []
+        rem_v: list[np.ndarray] = []
+        rem_w: list[np.ndarray] = []
+        rem_c: list[np.ndarray] = []
+        rounds = 0
+        while frontier.size:
+            vals_f = values[frontier]
+            mask = k.can_emit(vals_f)
+            if mask is not None:
+                frontier = frontier[mask]
+                vals_f = vals_f[mask]
+                if not frontier.size:
+                    break
+            starts = indptr[frontier]
+            counts = indptr[frontier + 1] - starts
+            nz = counts > 0
+            if not nz.all():
+                frontier, vals_f, starts, counts = (
+                    frontier[nz], vals_f[nz], starts[nz], counts[nz],
+                )
+            total = int(counts.sum())
+            if total == 0:
+                break
+            rounds += 1
+            self.stats["kernel_relaxations"] += total
+            cum = np.cumsum(counts)
+            idx = np.arange(total, dtype=np.int64) - np.repeat(cum - counts, counts)
+            idx += np.repeat(starts, counts)
+            e_heads = heads[idx]
+            tail_vals = np.repeat(vals_f, counts)
+            candidates = k.relax(tail_vals, weights[idx])
+            local = owner[e_heads] == self.rank
+            remote = ~local
+            if remote.any():
+                rem_t.append(self._ids[e_heads[remote]])
+                rem_s.append(self._ids[np.repeat(frontier, counts)[remote]])
+                rem_v.append(tail_vals[remote].astype(np.uint64))
+                rem_w.append(weights[idx][remote])
+                rem_c.append(candidates[remote])
+            if local.any():
+                l_heads = e_heads[local]
+                written[l_heads] = True  # delivery seeds the neighbour
+                old = values[l_heads].copy()
+                k.scatter(values, l_heads, candidates[local])
+                ch = values[l_heads] != old
+                frontier = np.unique(l_heads[ch])
+            else:
+                frontier = np.empty(0, dtype=np.int64)
+        self.stats["kernel_rounds"] += rounds
+        if rem_t:
+            t = np.concatenate(rem_t)
+            s = np.concatenate(rem_s)
+            v = np.concatenate(rem_v)
+            w = np.concatenate(rem_w)
+            c = np.concatenate(rem_c)
+            # Coalesce by (target, sender), keeping the best candidate —
+            # the array analogue of the outbuf §II-D squash.
+            ckey = c if self._minlike[p] else np.invert(c)
+            order = np.lexsort((ckey, s, t))
+            t, s, v, w = t[order], s[order], v[order], w[order]
+            first = np.ones(t.size, dtype=bool)
+            first[1:] = (t[1:] != t[:-1]) | (s[1:] != s[:-1])
+            loop.queue_update(p, t[first], s[first], v[first], w[first])
+
+    # -- dict write-back ----------------------------------------------
+    def _write_back(self) -> None:
+        """Fold changed dense values into the engine's value dicts.
+
+        Runs at the end of every drain: per-event code between drains
+        reads these dicts (``_value_for_send`` on edge inserts), so the
+        mirror must never be ahead of them.
+        """
+        engine = self.engine
+        for p in range(self.n_programs):
+            stale = self._written[p] & (self._values[p] != self._synced[p])
+            if not stale.any():
+                continue
+            idx = np.nonzero(stale)[0]
+            vals = self._values[p][idx]
+            self._synced[p][idx] = vals
+            target = engine.values[self.rank][p]
+            for vid, v in zip(self._ids[idx].tolist(), vals.tolist()):
+                target[vid] = v

@@ -13,6 +13,9 @@ tag       payload
 ``"T"``   ``("T", round, sent_sum, recv_sum, all_idle)`` — the
           termination token (:mod:`repro.parallel.termination`)
 ``"S"``   ``("S",)`` — stop: rank 0 concluded termination
+``"D"``   ``("D", sender_rank)`` — doorbell: the sender's shm ring to
+          this rank went empty→nonempty (shm wire only; wakes a
+          receiver blocked in ``Connection.poll``)
 ========= ==========================================================
 
 Worker → parent frames (on the dedicated parent pipe):
@@ -42,6 +45,7 @@ FRAME_TOKEN = "T"
 FRAME_STOP = "S"
 FRAME_RESULT = "R"
 FRAME_ERROR = "E"
+FRAME_DOORBELL = "D"
 
 
 @dataclass(frozen=True)
@@ -55,6 +59,10 @@ class WireConfig:
     poll_timeout: float = 0.02  # blocking-wait seconds when idle
     start_method: str = "spawn"  # multiprocessing context
     inbox_coalesce: bool = True  # receive-side UPDATE squashing
+    kind: str = "shm"  # data plane: "shm" rings or legacy "pipe"
+    ring_capacity: int = 1 << 20  # bytes per (src,dst) shm ring
+    vectorize: bool = True  # apply shm slabs via bulk kernels when eligible
+    ingest_chunk: int = 4096  # stream events per bulk-ingest chunk (vec only)
 
     def __post_init__(self) -> None:
         if self.batch_max < 1:
@@ -63,6 +71,12 @@ class WireConfig:
             raise ValueError("dispatch_slice and pull_slice must be >= 1")
         if self.poll_timeout <= 0:
             raise ValueError("poll_timeout must be > 0")
+        if self.kind not in ("shm", "pipe"):
+            raise ValueError(f"wire kind must be 'shm' or 'pipe', got {self.kind!r}")
+        if self.ring_capacity < 4096:
+            raise ValueError(f"ring_capacity must be >= 4096, got {self.ring_capacity}")
+        if self.ingest_chunk < 1:
+            raise ValueError(f"ingest_chunk must be >= 1, got {self.ingest_chunk}")
 
 
 class Sender(threading.Thread):

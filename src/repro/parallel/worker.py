@@ -9,15 +9,18 @@ with this process's rank, so only this rank's store/value/counter slots
 are ever touched — the cluster state is the disjoint union of the
 workers' slots, harvested by the parent after termination.
 
-Service loop, per turn: drain arrived pipe frames into the inbox →
-dispatch a slice of inbox visitors → pull a slice of stream events when
-the inbox is empty → if nothing progressed, force-flush the outbuffers
-and do token-ring work, blocking briefly on the pipes when there is
-truly nothing to do.  Quiescence is concluded by rank 0's
-:class:`RingCoordinator` (two consecutive balanced all-idle token
-rounds), after which rank 0 broadcasts STOP and every worker ships its
-final state to the parent — the cross-process, quiescence-based
-collection of the run's end state.
+Service loop, per turn: drain arrived shm ring slabs and pipe frames
+into the inbox (vectorized-eligible record slabs go straight to the
+kernel drain of :mod:`repro.parallel.vecapply` instead) → dispatch a
+slice of inbox visitors → pull a slice of stream events when the inbox
+is empty → if nothing progressed, force-flush the outbuffers and do
+token-ring work, blocking briefly on the pipes when there is truly
+nothing to do (a ``"D"`` doorbell frame wakes the block when a peer's
+push makes a ring go empty→nonempty).  Quiescence is concluded by
+rank 0's :class:`RingCoordinator` (two consecutive balanced all-idle
+token rounds), after which rank 0 broadcasts STOP and every worker
+ships its final state to the parent — the cross-process,
+quiescence-based collection of the run's end state.
 """
 
 from __future__ import annotations
@@ -26,10 +29,14 @@ import traceback
 from multiprocessing.connection import wait as conn_wait
 from typing import Any
 
-from repro.parallel.loop import PipeLoop
+from repro.parallel.codec import Codec
+from repro.parallel.loop import PipeLoop, ShmLoop
+from repro.parallel.shm import K_ADD, K_RADD, K_UPDATE, ShmRing, attach_ring
 from repro.parallel.termination import RingCoordinator, RingMember
+from repro.parallel.vecapply import VecApplier, vec_eligible
 from repro.parallel.wire import (
     FRAME_BATCH,
+    FRAME_DOORBELL,
     FRAME_ERROR,
     FRAME_RESULT,
     FRAME_STOP,
@@ -39,6 +46,8 @@ from repro.parallel.wire import (
 )
 from repro.runtime.engine import DynamicEngine, EngineConfig
 from repro.runtime.visitor import VT_INIT
+
+_VEC_KINDS = (K_ADD, K_RADD, K_UPDATE)
 
 
 def worker_main(
@@ -52,6 +61,8 @@ def worker_main(
     init: list[tuple[Any, int, Any]],
     wire: WireConfig,
     collect_edges: bool,
+    ring_names: dict[tuple[int, int], str] | None = None,
+    add_only: bool = True,
 ) -> None:
     """Process entry point (top-level, so it is spawn-picklable)."""
     try:
@@ -65,6 +76,8 @@ def worker_main(
             init,
             wire,
             collect_edges,
+            ring_names,
+            add_only,
         )
         parent_conn.send((FRAME_RESULT, result))
     except BaseException:  # noqa: BLE001 - forwarded to the parent
@@ -89,6 +102,8 @@ def _run_rank(
     init: list[tuple[Any, int, Any]],
     wire: WireConfig,
     collect_edges: bool,
+    ring_names: dict[tuple[int, int], str] | None,
+    add_only: bool,
 ) -> dict[str, Any]:
     if config.bulk_ingest or config.trace or config.sample_interval is not None:
         raise ValueError(
@@ -102,21 +117,56 @@ def _run_rank(
         import numpy as np
 
         jitter_rng = np.random.default_rng((wire.jitter_seed, rank))
-    loop = PipeLoop(
-        rank,
-        n_ranks,
-        sender.put,
-        batch_max=wire.batch_max,
-        jitter_rng=jitter_rng,
-        inbox_coalesce=wire.inbox_coalesce,
-    )
+    rings_in: dict[int, ShmRing] = {}
+    rings_out: dict[int, ShmRing] = {}
+    codec: Codec | None = None
+    applier: VecApplier | None = None
+    loop: PipeLoop
+    if wire.kind == "shm" and n_ranks > 1:
+        if ring_names is None:
+            raise ValueError("shm wire needs the parent-created ring names")
+        codec = Codec(programs)
+        for other in peer_conns:
+            rings_out[other] = attach_ring(ring_names[(rank, other)])
+            rings_in[other] = attach_ring(ring_names[(other, rank)])
+        loop = ShmLoop(
+            rank,
+            n_ranks,
+            sender.put,
+            rings_out,
+            codec,
+            engine.partitioner,
+            batch_max=wire.batch_max,
+            jitter_rng=jitter_rng,
+            inbox_coalesce=wire.inbox_coalesce,
+        )
+        if vec_eligible(engine, wire, add_only):
+            applier = VecApplier(engine, rank, codec)
+    else:
+        loop = PipeLoop(
+            rank,
+            n_ranks,
+            sender.put,
+            batch_max=wire.batch_max,
+            jitter_rng=jitter_rng,
+            inbox_coalesce=wire.inbox_coalesce,
+        )
     loop.set_update_combiners(engine._combiners)
     engine.loop = loop
     stream_live = False
+    vec_stream = None
     if stream_columns is not None:
         from repro.events.stream import ArrayEventStream
 
-        engine.attach_stream(rank, ArrayEventStream(*stream_columns))
+        stream = ArrayEventStream(*stream_columns)
+        if applier is not None:
+            # Vec runs bulk-ingest straight from the columns; the
+            # engine never sees a stream (or any per-event visitor
+            # beyond INIT), so its store stays empty and the applier's
+            # mirror is the rank's topology of record.
+            vec_stream = stream
+        else:
+            engine.attach_stream(rank, stream)
         stream_live = True
     # Ownership-gated seeding: every worker gets the full init list but
     # enqueues only visitors for vertices it owns (version 0 — inits
@@ -134,14 +184,54 @@ def _run_rank(
     token_outstanding = False
     stopping = False
 
+    def drain_rings() -> bool:
+        """Consume every committed slab from the incoming rings.
+
+        Vectorized-eligible record slabs accumulate for one kernel
+        drain (counting their own wire_received — they bypass
+        ``deliver_batch``); everything else decodes back to visitor
+        tuples for per-event dispatch.  Rings are committed only after
+        the kernel drain, which copies out of the shared pages before
+        any emission it triggers could need the space back.
+        """
+        if not rings_in:
+            return False
+        assert codec is not None
+        got = False
+        vec_slabs: list[tuple[int, int, int, Any]] = []
+        touched = []
+        for r_in in rings_in.values():
+            slabs = r_in.pop_slabs()
+            if not slabs:
+                r_in.commit()  # release PAD-only space, if any
+                continue
+            got = True
+            touched.append(r_in)
+            for kind, n, sender_rank, payload in slabs:
+                if applier is not None and kind in _VEC_KINDS:
+                    vec_slabs.append((kind, n, sender_rank, payload))
+                    loop.wire_received += n
+                    loop.frames_received += 1
+                else:
+                    loop.deliver_batch(
+                        sender_rank, codec.decode_to_tuples(kind, payload)
+                    )
+        if vec_slabs:
+            assert applier is not None
+            applier.drain(vec_slabs, loop)
+        for r_in in touched:
+            r_in.commit()
+        return got
+
     def drain(block: bool) -> bool:
         nonlocal stopping
-        got = False
+        got = drain_rings()
         ready = (
             conn_wait(conns, wire.poll_timeout)
-            if block and conns
+            if block and conns and not got
             else [c for c in conns if c.poll()]
         )
+        rang = False
         for conn in ready:
             while conn.poll():
                 try:
@@ -157,6 +247,8 @@ def _run_rank(
                 if tag == FRAME_BATCH:
                     loop.deliver_batch(frame[1], frame[2])
                     got = True
+                elif tag == FRAME_DOORBELL:
+                    rang = True
                 elif tag == FRAME_TOKEN:
                     ring.receive(frame[1], frame[2], frame[3], frame[4])
                 elif tag == FRAME_STOP:
@@ -164,10 +256,16 @@ def _run_rank(
                     return got
                 else:
                     raise ValueError(f"unknown wire frame {frame!r}")
+        if rang:
+            # The doorbell only says "ring went nonempty"; the slabs
+            # themselves are picked up here.
+            got = drain_rings() or got
         return got
 
     while not stopping:
         sender.check()
+        if isinstance(loop, ShmLoop):
+            loop.pump()  # retry any backpressured slabs
         progressed = drain(block=False)
         for _ in range(wire.dispatch_slice):
             msg = loop.pop_message()
@@ -176,11 +274,21 @@ def _run_rank(
             engine.on_message(loop, rank, msg)
             progressed = True
         if stream_live and loop.inbox_len == 0:
-            for _ in range(wire.pull_slice):
-                if not engine.pull_source(loop, rank):
+            if vec_stream is not None:
+                assert applier is not None
+                s_col, d_col, w_col = vec_stream.pull_chunk(wire.ingest_chunk)
+                if s_col.size == 0:
                     stream_live = False
-                    break
-                progressed = True
+                else:
+                    applier.ingest(s_col, d_col, w_col, loop)
+                    engine.counters[rank].source_events += int(s_col.size)
+                    progressed = True
+            else:
+                for _ in range(wire.pull_slice):
+                    if not engine.pull_source(loop, rank):
+                        stream_live = False
+                        break
+                    progressed = True
         if progressed:
             continue
         # Locally quiescent this turn: entrust everything buffered to
@@ -216,6 +324,10 @@ def _run_rank(
                 sender.put(ring.next_rank, (FRAME_TOKEN,) + payload)
         if idle:
             drain(block=True)
+        elif isinstance(loop, ShmLoop) and loop.outbuffered:
+            # Backpressured: the consumer must run before a retry can
+            # succeed, so block briefly instead of hot-spinning.
+            drain(block=True)
 
     # Termination was proved globally: nothing may remain queued here.
     if loop.inbox_len or loop.outbuffered or stream_live:
@@ -232,6 +344,14 @@ def _run_rank(
     counters = engine.counters[0]
     for c in engine.counters[1:]:
         counters = counters.merge(c)
+    wire_stats = loop.wire_stats()
+    if applier is not None:
+        wire_stats.update(applier.stats)
+        num_edges = applier.num_edges
+        edges = applier.edges() if collect_edges else None
+    else:
+        num_edges = engine.stores[rank].num_edges
+        edges = list(engine.stores[rank].edges()) if collect_edges else None
     result: dict[str, Any] = {
         "rank": rank,
         "values": {
@@ -239,11 +359,13 @@ def _run_rank(
             for p, prog in enumerate(engine.programs)
         },
         "counters": counters,
-        "wire": loop.wire_stats(),
+        "wire": wire_stats,
         "virtual_time": loop.clock[rank],
-        "num_edges": engine.stores[rank].num_edges,
-        "edges": list(engine.stores[rank].edges()) if collect_edges else None,
+        "num_edges": num_edges,
+        "edges": edges,
     }
     if coordinator is not None:
         result["token_rounds"] = coordinator.rounds_completed
+    for r_ring in (*rings_in.values(), *rings_out.values()):
+        r_ring.close()  # drop mappings; the parent unlinks the segments
     return result

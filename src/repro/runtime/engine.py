@@ -232,6 +232,13 @@ class DynamicEngine(RankHandler):
         else:
             self.metrics = None
             self.sampler = None
+        # Batch-apply observation hooks (the mp backend's vectorized shm
+        # drain, repro.parallel.vecapply): fired on every per-event value
+        # write / edge insert so a dense mirror can fold per-event
+        # activity in before each bulk apply.  None everywhere else —
+        # the per-event hot path pays one is-None check.
+        self._value_write_hook: Callable[[int, int, Any], None] | None = None
+        self._insert_hook: Callable[[int, int, int], None] | None = None
         for r in range(n):
             self.loop.set_source_active(r, False)
 
@@ -773,6 +780,8 @@ class DynamicEngine(RankHandler):
         new = store.insert_edge(src, dst, weight)
         if new:
             self.counters[rank].edge_inserts += 1
+        if self._insert_hook is not None:
+            self._insert_hook(src, dst, weight)
         self._charge(rank, self.cost.edge_insert_cpu)
         self._charge_spill(rank, store)
         return new
@@ -877,6 +886,8 @@ class DynamicEngine(RankHandler):
                 # prev-version view (§III-D).
                 prev[vertex] = vals.get(vertex, 0)
         vals[vertex] = value
+        if self._value_write_hook is not None:
+            self._value_write_hook(prog, vertex, value)
         if self.triggers.has_triggers(prog):
             self.triggers.on_change(prog, vertex, value, self.loop.now(rank))
 

@@ -51,6 +51,10 @@ class TestIterMetrics:
     def test_non_numeric_gated_keys_ignored(self):
         assert dict(iter_metrics({"events_per_second": "n/a"})) == {}
 
+    def test_wall_speedup_4v1_is_gated_despite_marker(self):
+        doc = clone(wall_speedup_4v1=3.0)
+        assert dict(iter_metrics(doc))["wall_speedup_4v1"] == 3.0
+
 
 class TestCompareDocs:
     def test_identical_docs_pass(self):
@@ -87,6 +91,12 @@ class TestCompareDocs:
         del fresh["peak_speedup"]
         problems = compare_docs(BASE, fresh, tolerance=0.25)
         assert problems == ["peak_speedup: gated metric missing from fresh run"]
+
+    def test_wall_speedup_4v1_collapse_is_a_regression(self):
+        base = clone(wall_speedup_4v1=3.0)
+        fresh = clone(wall_speedup_4v1=1.0)
+        problems = compare_docs(base, fresh, tolerance=0.25)
+        assert len(problems) == 1 and "wall_speedup_4v1" in problems[0]
 
     def test_zero_baseline_is_skipped(self):
         base = clone(events_per_second=0.0)

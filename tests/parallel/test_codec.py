@@ -1,0 +1,160 @@
+"""Property tests for the visitor-batch record codec.
+
+The shm wire must be invisible to the engine: any visitor batch the
+pipe wire could pickle must round-trip through ``encode_batch`` /
+``decode_to_tuples`` to the *identical* tuple list — same order (the
+§III-C FIFO guarantee), same native-int values, same signedness per
+program domain.  Hypothesis drives batches across all three record
+layouts plus the pickle fallback lane.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    IncrementalBFS,
+    IncrementalCC,
+    IncrementalSSSP,
+    MultiSTConnectivity,
+    WidestPath,
+)
+from repro.parallel.codec import ADD_DTYPE, UPDATE_DTYPE, Codec, radd_dtype
+from repro.parallel.shm import K_ADD, K_PICKLE, K_RADD, K_UPDATE
+from repro.runtime.visitor import VT_ADD, VT_RADD, VT_UPDATE
+
+# All-packable run: every program declares a bulk kernel (BFS/SSSP are
+# signed min-plus, CC is unsigned max-label).
+PACKABLE = Codec([IncrementalBFS(), IncrementalCC(), IncrementalSSSP()])
+# Mixed run: st/widest have no kernel, so their UPDATEs — and *every*
+# RADD — must ride the pickle lane.
+MIXED = Codec(
+    [
+        IncrementalBFS(),
+        IncrementalCC(),
+        IncrementalSSSP(),
+        MultiSTConnectivity(),
+        WidestPath(),
+    ]
+)
+
+i64 = st.integers(-(2**63), 2**63 - 1)
+u64 = st.integers(0, 2**64 - 1)
+vid = st.integers(0, 2**40)
+weight = st.integers(-(2**31), 2**31)
+ver = st.integers(0, 2**32 - 1)
+
+
+def value_strategy(codec, prog):
+    if not codec.packable[prog]:
+        return st.one_of(i64, st.text(max_size=5), st.tuples(u64, u64))
+    return i64 if codec.signed[prog] else u64
+
+
+@st.composite
+def visitor(draw, codec):
+    vt = draw(st.sampled_from([VT_ADD, VT_RADD, VT_UPDATE]))
+    if vt == VT_ADD:
+        return (VT_ADD, draw(vid), draw(vid), draw(weight), draw(ver))
+    if vt == VT_RADD:
+        vals = tuple(
+            draw(value_strategy(codec, p)) for p in range(codec.n_programs)
+        )
+        return (VT_RADD, draw(vid), draw(vid), vals, draw(weight), draw(ver))
+    prog = draw(st.integers(0, codec.n_programs - 1))
+    return (
+        VT_UPDATE,
+        prog,
+        draw(vid),
+        draw(vid),
+        draw(value_strategy(codec, prog)),
+        draw(weight),
+        draw(ver),
+    )
+
+
+def roundtrip(codec, batch):
+    out = []
+    for kind, n, payload in codec.encode_batch(batch):
+        decoded = codec.decode_to_tuples(kind, payload)
+        assert len(decoded) == n
+        out.extend(decoded)
+    return out
+
+
+class TestRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(batch=st.lists(visitor(PACKABLE), max_size=30))
+    def test_all_packable_batches_roundtrip_exactly(self, batch):
+        assert roundtrip(PACKABLE, batch) == batch
+
+    @settings(max_examples=60, deadline=None)
+    @given(batch=st.lists(visitor(MIXED), max_size=30))
+    def test_mixed_batches_roundtrip_exactly(self, batch):
+        assert roundtrip(MIXED, batch) == batch
+
+    def test_signed_values_fold_back_negative(self):
+        # SSSP (signed domain) at prog 2: a negative value must survive
+        # the u64 bit-pattern trip as the same Python int.
+        msg = (VT_UPDATE, 2, 5, 7, -123456789, 3, 0)
+        assert roundtrip(PACKABLE, [msg]) == [msg]
+
+    def test_unsigned_values_above_sign_bit_survive(self):
+        # CC (unsigned max-label) at prog 1: hashes with the top bit set
+        # must NOT be sign-folded.
+        msg = (VT_UPDATE, 1, 5, 7, (1 << 63) + 99, 3, 0)
+        assert roundtrip(PACKABLE, [msg]) == [msg]
+
+
+class TestSlabKinds:
+    def test_kind_per_visitor_type(self):
+        assert PACKABLE.slab_kind((VT_ADD, 0, 1, 1, 0)) == K_ADD
+        assert PACKABLE.slab_kind((VT_RADD, 0, 1, (0, 0, 0), 1, 0)) == K_RADD
+        assert PACKABLE.slab_kind((VT_UPDATE, 0, 1, 2, 3, 1, 0)) == K_UPDATE
+
+    def test_mixed_run_demotes_radd_and_unpackable_updates(self):
+        assert not MIXED.all_packable
+        assert MIXED.slab_kind((VT_RADD, 0, 1, (0,) * 5, 1, 0)) == K_PICKLE
+        assert MIXED.slab_kind((VT_UPDATE, 3, 1, 2, "bitmap", 1, 0)) == K_PICKLE
+        assert MIXED.slab_kind((VT_UPDATE, 0, 1, 2, 3, 1, 0)) == K_UPDATE
+
+    def test_consecutive_runs_share_one_slab(self):
+        batch = [(VT_ADD, i, i + 1, 1, 0) for i in range(4)]
+        batch += [(VT_UPDATE, 0, 1, 2, 3, 1, 0)]
+        batch += [(VT_ADD, 9, 10, 1, 0)]
+        slabs = PACKABLE.encode_batch(batch)
+        assert [(k, n) for k, n, _ in slabs] == [(K_ADD, 4), (K_UPDATE, 1), (K_ADD, 1)]
+
+    def test_empty_batch_encodes_to_no_slabs(self):
+        assert PACKABLE.encode_batch([]) == []
+
+
+class TestRecordViews:
+    def test_add_view_is_zero_copy_over_the_payload(self):
+        batch = [(VT_ADD, 3, 4, 5, 1), (VT_ADD, 6, 7, -8, 2)]
+        [(kind, n, payload)] = PACKABLE.encode_batch(batch)
+        view = PACKABLE.add_view(np.frombuffer(payload, dtype=np.uint8))
+        assert view.dtype == ADD_DTYPE and view.base is not None
+        assert view["src"].tolist() == [3, 6]
+        assert view["dst"].tolist() == [4, 7]
+        assert view["weight"].tolist() == [5, -8]
+        assert view["ver"].tolist() == [1, 2]
+
+    def test_update_view_field_layout(self):
+        msg = (VT_UPDATE, 1, 10, 11, 12, 13, 14)
+        [(kind, n, payload)] = PACKABLE.encode_batch([msg])
+        view = PACKABLE.update_view(np.frombuffer(payload, dtype=np.uint8))
+        assert view.dtype == UPDATE_DTYPE
+        assert view[0].item() == (1, 10, 11, 12, 13, 14)
+
+    def test_radd_view_carries_one_value_lane_per_program(self):
+        msg = (VT_RADD, 1, 2, (7, 8, 9), 3, 0)
+        [(kind, n, payload)] = PACKABLE.encode_batch([msg])
+        view = PACKABLE.radd_view(np.frombuffer(payload, dtype=np.uint8))
+        assert view.dtype == radd_dtype(3)
+        assert view["vals"].tolist() == [[7, 8, 9]]
+
+    def test_unknown_slab_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown slab kind"):
+            PACKABLE.decode_to_tuples(99, b"")

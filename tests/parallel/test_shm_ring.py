@@ -1,0 +1,190 @@
+"""Property tests for the SPSC shared-memory slab ring.
+
+The ring is the mp backend's data plane, so its framing invariants are
+pinned directly: FIFO byte-exact round-trips under arbitrary payload
+sizes, wrap-around via PAD slabs at the region end, non-blocking
+backpressure on a full ring, and torn/misframed-write detection via the
+per-slab sequence stamps (the tests corrupt stamps deliberately to
+prove the detector trips).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.parallel.shm import (
+    HEADER_BYTES,
+    K_ADD,
+    K_PAD,
+    K_PICKLE,
+    K_RADD,
+    K_UPDATE,
+    SLAB_ALIGN,
+    SLAB_HEADER,
+    RingCorruption,
+    ShmRing,
+    attach_ring,
+    create_ring,
+)
+
+KINDS = (K_PICKLE, K_UPDATE, K_ADD, K_RADD)
+
+slab_item = st.tuples(
+    st.sampled_from(KINDS),
+    st.integers(0, 2**32 - 1),  # n_records
+    st.binary(min_size=0, max_size=200),
+    st.integers(0, 7),  # sender
+)
+
+
+def drain(ring):
+    """Pop-and-commit every committed slab, copying payloads out first."""
+    out = [(k, n, s, bytes(view)) for k, n, s, view in ring.pop_slabs()]
+    ring.commit()
+    return out
+
+
+@pytest.fixture
+def make_ring():
+    rings = []
+
+    def _make(capacity: int) -> ShmRing:
+        ring = create_ring(capacity)
+        rings.append(ring)
+        return ring
+
+    yield _make
+    for ring in rings:
+        ring.destroy()
+
+
+class TestRoundTrip:
+    @settings(max_examples=50, deadline=None)
+    @given(items=st.lists(slab_item, max_size=40))
+    def test_fifo_byte_exact_with_wraparound(self, items):
+        """Everything pushed comes back once, in order, byte-identical —
+        across a ring small enough that most examples wrap repeatedly."""
+        ring = create_ring(512)
+        try:
+            got = []
+            for kind, n, payload, sender in items:
+                while not ring.try_push(kind, n, payload, sender):
+                    popped = drain(ring)
+                    assert popped, "full ring must still be drainable"
+                    got.extend(popped)
+            got.extend(drain(ring))
+            assert got == [(k, n, s, bytes(p)) for k, n, p, s in items]
+            assert ring.used() == 0
+            assert ring.pushes == len(items)
+        finally:
+            ring.destroy()
+
+    def test_payload_may_be_ndarray_or_memoryview(self, make_ring):
+        ring = make_ring(256)
+        arr = np.arange(10, dtype=np.uint8)
+        assert ring.try_push(K_ADD, 1, arr, sender=0)
+        assert ring.try_push(K_ADD, 2, memoryview(b"abcd"), sender=1)
+        assert drain(ring) == [(K_ADD, 1, 0, arr.tobytes()), (K_ADD, 2, 1, b"abcd")]
+
+    def test_pop_without_commit_does_not_release(self, make_ring):
+        ring = make_ring(256)
+        ring.try_push(K_UPDATE, 1, b"x" * 8, sender=0)
+        used = ring.used()
+        assert ring.pop_slabs()
+        assert ring.used() == used  # head only moves on commit
+        ring.commit()
+        assert ring.used() == 0
+        ring.commit()  # idempotent: second commit is a no-op
+
+    def test_attach_shares_the_same_pages(self, make_ring):
+        ring = make_ring(256)
+        peer = attach_ring(ring.name)
+        try:
+            assert peer.try_push(K_RADD, 3, b"shared", sender=2)
+            assert drain(ring) == [(K_RADD, 3, 2, b"shared")]
+        finally:
+            peer.close()
+
+    def test_attach_restores_resource_tracker(self, make_ring):
+        from multiprocessing import resource_tracker
+
+        before = resource_tracker.register
+        ring = make_ring(256)
+        peer = attach_ring(ring.name)
+        peer.close()
+        assert resource_tracker.register is before
+
+
+class TestWraparound:
+    def test_pad_slab_inserted_at_region_end(self, make_ring):
+        ring = make_ring(128)
+        for _ in range(3):  # three empty slabs: tail = 96, 32 bytes remain
+            assert ring.try_push(K_ADD, 0, b"", sender=0)
+        assert drain(ring) == [(K_ADD, 0, 0, b"")] * 3
+        # 8-byte payload needs a 64-byte slab > the 32 left before the
+        # region end, so the producer must burn those 32 as a PAD slab
+        # and place the payload contiguously at offset 0.
+        assert ring.try_push(K_UPDATE, 1, b"12345678", sender=1)
+        assert ring.used() == 32 + 64  # pad + slab
+        assert drain(ring) == [(K_UPDATE, 1, 1, b"12345678")]  # PAD invisible
+        assert ring.used() == 0
+
+
+class TestBackpressure:
+    def test_full_ring_refuses_without_writing(self, make_ring):
+        ring = make_ring(128)
+        for i in range(4):  # 4 × 32-byte slabs fill the region exactly
+            assert ring.try_push(K_ADD, i, b"", sender=0)
+        assert not ring.try_push(K_ADD, 9, b"", sender=0)
+        assert ring.push_stalls == 1
+        assert ring.hwm_bytes == 128
+        # The refused push left the committed slabs intact.
+        assert drain(ring) == [(K_ADD, i, 0, b"") for i in range(4)]
+        assert ring.try_push(K_ADD, 9, b"", sender=0)  # space released
+
+    def test_slab_larger_than_ring_rejected_outright(self, make_ring):
+        ring = make_ring(128)
+        with pytest.raises(ValueError, match="exceeds ring capacity"):
+            ring.try_push(K_ADD, 1, b"x" * 256, sender=0)
+
+    def test_create_ring_validates_capacity(self):
+        with pytest.raises(ValueError):
+            create_ring(100)  # not a multiple of SLAB_ALIGN
+        with pytest.raises(ValueError):
+            create_ring(SLAB_ALIGN)  # too small
+
+
+class TestTornWriteDetection:
+    def _corrupt(self, ring, offset, field, value):
+        from repro.parallel.shm import _SLAB_HDR_DTYPE
+
+        hdr = np.ndarray((), dtype=_SLAB_HDR_DTYPE, buffer=ring._data.data, offset=offset)
+        hdr[field] = value
+
+    def test_bad_seq_stamp_raises(self, make_ring):
+        ring = make_ring(256)
+        ring.try_push(K_ADD, 1, b"ok", sender=0)
+        ring.try_push(K_UPDATE, 1, b"torn", sender=0)
+        self._corrupt(ring, offset=64, field="seq", value=12345)  # second slab
+        with pytest.raises(RingCorruption, match="torn or misframed"):
+            ring.pop_slabs()
+
+    def test_overlong_nbytes_raises(self, make_ring):
+        ring = make_ring(256)
+        ring.try_push(K_ADD, 1, b"ok", sender=0)
+        self._corrupt(ring, offset=0, field="nbytes", value=ring.capacity)
+        with pytest.raises(RingCorruption, match="past the region end"):
+            ring.pop_slabs()
+
+    def test_intact_slabs_do_not_trip_the_detector(self, make_ring):
+        ring = make_ring(256)
+        for i in range(5):
+            ring.try_push(K_ADD, i, bytes([i]) * i, sender=i % 2)
+            assert drain(ring) == [(K_ADD, i, i % 2, bytes([i]) * i)]
+
+
+def test_layout_constants_are_consistent():
+    assert HEADER_BYTES >= 128  # tail and head on separate cache lines
+    assert SLAB_HEADER == 32 and SLAB_ALIGN == 32
+    assert K_PAD == 0 and len({K_PAD, K_PICKLE, K_UPDATE, K_ADD, K_RADD}) == 5
