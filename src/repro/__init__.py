@@ -77,6 +77,13 @@ from repro.runtime import (
     VertexProgram,
 )
 from repro.runtime.program import CallbackProgram
+from repro.serving import (
+    MixedWorkloadDriver,
+    QueryResult,
+    ServingLayer,
+    StableValueCache,
+    WorkloadSpec,
+)
 from repro.storage import CSRGraph, DegAwareRHH, RobinHoodMap
 
 __version__ = "1.0.0"
@@ -121,6 +128,11 @@ __all__ = [
     "VertexContext",
     "VertexProgram",
     "CallbackProgram",
+    "MixedWorkloadDriver",
+    "QueryResult",
+    "ServingLayer",
+    "StableValueCache",
+    "WorkloadSpec",
     "CSRGraph",
     "DegAwareRHH",
     "RobinHoodMap",

@@ -13,11 +13,20 @@ Usage (also available as ``python -m repro``)::
     python -m repro report --trace trace.json --metrics m.jsonl
     python -m repro run --algo cc --verify \
         --faults drop=0.1,dup=0.02,crash=0.4 --checkpoint-every 0.2
+    python -m repro serve --graph rmat --scale 10 --algo bfs \
+        --workload ratio=0.2,slice=2048 --reference --verify
 
 ``run`` generates the requested workload, ingests it at saturation on a
 simulated cluster, optionally takes a versioned global-state snapshot
 at a fraction of the (estimated) stream, optionally verifies against
 the static oracle, and prints the throughput report.
+
+``serve`` is the on-line mode: the same ingest, but with point queries
+(distance / component membership / reachability / widest capacity)
+served through the stable-value cache *while* the stream runs, each
+answer carrying its ``(value, as_of_vtime, stale)`` envelope; with
+``--verify``, every ``stale=False`` answer is differentially checked
+against the static oracle on the exact ingested prefix.
 """
 
 from __future__ import annotations
@@ -53,6 +62,21 @@ from repro.util.timers import WallTimer
 
 GRAPH_CHOICES = sorted(set(DATASET_PRESETS) | {"rmat"})
 ALGO_CHOICES = ["con", "bfs", "det-bfs", "sssp", "cc", "st", "widest"]
+# The query-servable families (each has a typed point query, a static
+# prefix oracle, and a full-stream monotone bound).
+SERVE_ALGO_CHOICES = ["bfs", "sssp", "cc", "st", "widest"]
+
+
+def _add_source_args(parser: argparse.ArgumentParser) -> None:
+    """Workload-source options shared by ``run`` and ``serve``."""
+    parser.add_argument("--input", default=None, metavar="FILE",
+                        help="read events from an edge file (.txt or .npz) "
+                             "instead of generating a graph")
+    parser.add_argument("--graph", choices=GRAPH_CHOICES, default="rmat")
+    parser.add_argument("--scale", type=int, default=10,
+                        help="log2 vertex universe")
+    parser.add_argument("--edge-factor", type=int, default=16)
+    parser.add_argument("--seed", type=int, default=0)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -62,12 +86,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     run = sub.add_parser("run", help="stream a synthetic graph through an algorithm")
-    run.add_argument("--input", default=None, metavar="FILE",
-                     help="read events from an edge file (.txt or .npz) "
-                          "instead of generating a graph")
-    run.add_argument("--graph", choices=GRAPH_CHOICES, default="rmat")
-    run.add_argument("--scale", type=int, default=10, help="log2 vertex universe")
-    run.add_argument("--edge-factor", type=int, default=16)
+    _add_source_args(run)
     run.add_argument("--algo", choices=ALGO_CHOICES, default="bfs")
     run.add_argument("--backend", choices=["des", "mp"], default="des",
                      help="des = single-process discrete-event simulation "
@@ -83,7 +102,6 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--nodes", type=int, default=1)
     run.add_argument("--ranks-per-node", type=int, default=4)
     run.add_argument("--sources", type=int, default=1, help="S-T source count")
-    run.add_argument("--seed", type=int, default=0)
     run.add_argument(
         "--snapshot-at",
         type=float,
@@ -121,6 +139,43 @@ def build_parser() -> argparse.ArgumentParser:
     flt.add_argument("--checkpoint-path", default=None, metavar="FILE",
                      help="where the rolling checkpoint lives "
                           "(default: a temp file, removed afterwards)")
+    srv = sub.add_parser(
+        "serve",
+        help="serve point queries against live engine state during ingest",
+    )
+    _add_source_args(srv)
+    srv.add_argument("--algo", choices=SERVE_ALGO_CHOICES, default="bfs")
+    srv.add_argument("--backend", choices=["des", "mp"], default="des",
+                     help="des = interleave query batches with ingest slices "
+                          "on the simulated cluster (default); mp = run the "
+                          "process-parallel backend to quiescence, then "
+                          "serve the harvested rank states")
+    srv.add_argument("--wire", choices=["shm", "pipe"], default="shm",
+                     help="mp data plane (as in run)")
+    srv.add_argument("--ranks", type=int, default=None, metavar="N",
+                     help="total rank count (overrides "
+                          "--nodes * --ranks-per-node)")
+    srv.add_argument("--nodes", type=int, default=1)
+    srv.add_argument("--ranks-per-node", type=int, default=4)
+    srv.add_argument("--sources", type=int, default=2, help="S-T source count")
+    srv.add_argument("--workload", default="ratio=0.1,slice=2048",
+                     metavar="SPEC",
+                     help="query mix: ratio=QUERIES_PER_EVENT,slice=ACTIONS,"
+                          "kinds=point:distance,seed=N,max=N "
+                          "(default ratio=0.1,slice=2048)")
+    srv.add_argument("--queries", type=int, default=None, metavar="N",
+                     help="query count for --backend mp "
+                          "(default: ratio * events)")
+    srv.add_argument("--reference", action="store_true",
+                     help="precompute the static answer on the full stream "
+                          "and register it as the monotone bound, enabling "
+                          "absorbing (stale-free) cache admission mid-ingest")
+    srv.add_argument("--verify", action="store_true",
+                     help="differentially check every stale=False answer "
+                          "against the static oracle on the ingested prefix")
+    srv.add_argument("--json", action="store_true",
+                     help="emit the serving report as one JSON document on "
+                          "stdout (progress chatter moves to stderr)")
     rep = sub.add_parser(
         "report", help="render a trace/metrics capture as text tables"
     )
@@ -312,18 +367,12 @@ def _run_mp(
     return 1 if mismatches else 0
 
 
-def cmd_run(args: argparse.Namespace) -> int:
-    import functools
-    import json as json_mod
-
-    # In --json mode stdout carries exactly one JSON document; all
-    # human-facing chatter moves to stderr so CI can pipe stdout.
-    chat = functools.partial(print, file=sys.stderr) if args.json else print
-    rng = np.random.default_rng(args.seed)
+def _load_stream(args: argparse.Namespace, chat, rng):
+    """Load ``--input`` or generate the synthetic workload; returns
+    ``(src, dst, weights, label)``."""
     if args.input is not None:
         reader = read_edge_npz if args.input.endswith(".npz") else read_edge_text
-        stream = reader(args.input)
-        events = list(stream)
+        events = list(reader(args.input))
         src = np.array([e[1] for e in events], dtype=np.int64)
         dst = np.array([e[2] for e in events], dtype=np.int64)
         weights = np.array([e[3] for e in events], dtype=np.int64)
@@ -336,6 +385,18 @@ def cmd_run(args: argparse.Namespace) -> int:
             pairwise_weights(src, dst, 1, 50)
             if args.algo in ("sssp", "widest") else None
         )
+    return src, dst, weights, label
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    import functools
+    import json as json_mod
+
+    # In --json mode stdout carries exactly one JSON document; all
+    # human-facing chatter moves to stderr so CI can pipe stdout.
+    chat = functools.partial(print, file=sys.stderr) if args.json else print
+    rng = np.random.default_rng(args.seed)
+    src, dst, weights, label = _load_stream(args, chat, rng)
 
     programs, init, source_info = _make_programs(args.algo, src, args.sources)
     n_ranks = (
@@ -564,6 +625,193 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 1 if mismatches else 0
 
 
+def _static_final(algo: str, src, dst, weights, source_info):
+    """The static answer on the full stream's final topology — the
+    monotone bound for absorbing cache admission, and the oracle for
+    frozen-harvest verification."""
+    from repro.staticalgs.algorithms import (
+        static_bfs,
+        static_cc,
+        static_sssp,
+        static_st_connectivity,
+    )
+    from repro.storage.csr import CSRGraph
+
+    graph = CSRGraph.from_edges(src, dst, weights, symmetrize=True)
+    if algo == "bfs":
+        return static_bfs(graph, source_info)[0]
+    if algo == "sssp":
+        return static_sssp(graph, source_info)[0]
+    if algo == "cc":
+        return static_cc(graph)[0]
+    if algo == "st":
+        return static_st_connectivity(graph, source_info)[0]
+    from repro.algorithms.widest_path import static_widest_path
+
+    return static_widest_path(graph, source_info)
+
+
+def _serve_report(chat, res) -> None:
+    cs = res.cache_stats
+    chat(
+        f"served {res.queries:,} queries against {res.events_ingested:,} "
+        f"ingested events"
+        + (f" across {res.slices} ingest slices" if res.slices else "")
+    )
+    chat(
+        f"latency: p50 {res.p50_us:.1f}us, p99 {res.p99_us:.1f}us "
+        f"({res.qps:,.0f} q/s over pure query time)"
+    )
+    chat(
+        f"cache: {res.hit_rate:.1%} hit rate ({cs.get('hits', 0):,} hits, "
+        f"{cs.get('admissions', 0):,} admissions, "
+        f"{cs.get('invalidations', 0):,} invalidations)"
+    )
+    line = (
+        f"envelope: {res.stale_served:,} served stale-flagged, "
+        f"{res.verified:,} stale-free answers verified vs the static oracle"
+    )
+    if res.violations:
+        line += f", {len(res.violations)} VIOLATIONS"
+    chat(line)
+
+
+def _serve_doc(args, spec, res, serving, label, n_ranks, events) -> dict:
+    return {
+        "label": label,
+        "algo": args.algo,
+        "backend": args.backend,
+        "n_ranks": n_ranks,
+        "events": events,
+        "workload": spec.describe(),
+        "reference": bool(args.reference),
+        "serving": res.to_dict(),
+        "stats": serving.stats(),
+        "verify": {
+            "requested": bool(args.verify),
+            "checked": res.verified,
+            "violations": len(res.violations),
+            "examples": res.violations[:5],
+        },
+    }
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import functools
+    import json as json_mod
+
+    from repro.serving import (
+        FrozenBackend,
+        MixedWorkloadDriver,
+        ServingLayer,
+        WorkloadSpec,
+        make_prefix_oracle,
+    )
+
+    chat = functools.partial(print, file=sys.stderr) if args.json else print
+    try:
+        spec = WorkloadSpec.from_spec(args.workload)
+    except ValueError as exc:
+        chat(f"serve: bad --workload spec: {exc}")
+        return 2
+    rng = np.random.default_rng(args.seed)
+    src, dst, weights, label = _load_stream(args, chat, rng)
+    if len(src) == 0:
+        chat("serve: empty event stream")
+        return 2
+    programs, init, source_info = _make_programs(args.algo, src, args.sources)
+    pool = np.unique(np.concatenate([src, dst]))
+    aux = list(range(len(source_info))) if args.algo == "st" else None
+    n_ranks = (
+        args.ranks if args.ranks is not None
+        else args.nodes * args.ranks_per_node
+    )
+
+    reference = None
+    if args.reference or (args.verify and args.backend == "mp"):
+        reference = _static_final(args.algo, src, dst, weights, source_info)
+
+    if args.backend == "mp":
+        from repro.events.stream import split_streams as _split
+        from repro.parallel import WireConfig, run_parallel
+
+        chat(
+            f"serve: backend mp, {n_ranks} ranks, {args.wire} wire "
+            "(run to quiescence, then serve the harvested state)"
+        )
+        result = run_parallel(
+            programs,
+            _split(src, dst, n_ranks, weights=weights, rng=rng),
+            config=EngineConfig(n_ranks=n_ranks),
+            wire=WireConfig(kind=args.wire),
+            init=init,
+        )
+        chat(
+            f"mp ingest: {result.source_events:,} events in "
+            f"{result.wall_seconds:.3f}s wall"
+        )
+        serving = ServingLayer(FrozenBackend.from_parallel_result(result, programs))
+        if args.reference and reference is not None:
+            serving.set_reference(programs[0].name, reference)
+        oracle_fn = (lambda: reference) if args.verify else None
+        driver = MixedWorkloadDriver(
+            serving, spec, pool, args.algo, aux=aux, oracle_fn=oracle_fn
+        )
+        n_queries = (
+            args.queries if args.queries is not None
+            else spec.max_queries
+            if spec.max_queries is not None
+            else max(int(len(src) * spec.ratio), 1)
+        )
+        res = driver.serve_only(n_queries)
+        res.events_ingested = result.source_events
+    else:
+        chat(
+            f"serve: backend des, {n_ranks} ranks, workload {spec.describe()}"
+            + (", full-stream reference bound" if args.reference else "")
+        )
+        engine = DynamicEngine(
+            programs,
+            EngineConfig(n_ranks=n_ranks),
+            cost_model=CostModel(ranks_per_node=args.ranks_per_node),
+        )
+        for prog, vertex, payload in init:
+            engine.init_program(prog, vertex, payload=payload)
+        engine.attach_streams(
+            split_streams(src, dst, n_ranks, weights=weights, rng=rng)
+        )
+        serving = ServingLayer(engine)
+        if args.reference and reference is not None:
+            serving.set_reference(programs[0].name, reference)
+        oracle_fn = None
+        if args.verify:
+            if args.algo == "st":
+                oracle_fn = make_prefix_oracle(engine, "st", sources=source_info)
+            elif args.algo == "cc":
+                oracle_fn = make_prefix_oracle(engine, "cc")
+            else:
+                oracle_fn = make_prefix_oracle(
+                    engine, args.algo, source=source_info
+                )
+        driver = MixedWorkloadDriver(
+            serving, spec, pool, args.algo, aux=aux, oracle_fn=oracle_fn
+        )
+        res = driver.run()
+
+    _serve_report(chat, res)
+    if args.json:
+        print(
+            json_mod.dumps(
+                _serve_doc(args, spec, res, serving, label, n_ranks, len(src)),
+                indent=2,
+            )
+        )
+    if res.violations:
+        chat(f"ENVELOPE VIOLATION: e.g. {res.violations[0]}")
+        return 1
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     from repro.obs import read_jsonl, render_metrics_report, render_trace_report
 
@@ -583,6 +831,8 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
         return cmd_run(args)
+    if args.command == "serve":
+        return cmd_serve(args)
     if args.command == "report":
         return cmd_report(args)
     if args.command == "generate":

@@ -59,13 +59,26 @@ def make_reference(
 
 
 class _Watch:
-    __slots__ = ("prog", "fn", "last_fresh_t", "last_fresh_events")
+    __slots__ = (
+        "prog",
+        "fn",
+        "last_fresh_t",
+        "last_fresh_events",
+        "last_stale",
+        "last_epoch",
+    )
 
     def __init__(self, prog: str, fn: Callable):
         self.prog = prog
         self.fn = fn
         self.last_fresh_t = 0.0
         self.last_fresh_events = 0
+        # Last sample's verdict, consumed by the serving layer's
+        # stability criterion (repro.serving): ``last_stale == 0`` with
+        # the engine's write_epoch() still equal to ``last_epoch``
+        # proves the live state is converged on the ingested prefix.
+        self.last_stale = -1  # -1 = never sampled
+        self.last_epoch = -1
 
 
 class FreshnessProbe:
@@ -85,6 +98,14 @@ class FreshnessProbe:
     def watched(self) -> list[str]:
         return [w.prog for w in self._watches]
 
+    def watch_for(self, prog: str):
+        """The :class:`_Watch` record for ``prog`` (None if unwatched);
+        the serving layer reads its ``last_stale``/``last_epoch``."""
+        for w in self._watches:
+            if w.prog == prog:
+                return w
+        return None
+
     def sample(self, t: float, registry) -> None:
         """Record one ``kind="freshness"`` row per watched program."""
         if not self._watches:
@@ -100,6 +121,8 @@ class FreshnessProbe:
         vertices = sum(s.approx_num_vertices for s in eng.stores)
         for w in self._watches:
             stale = len(w.fn(eng, w.prog))
+            w.last_stale = stale
+            w.last_epoch = eng.write_epoch()
             if stale == 0:
                 w.last_fresh_t = t
                 w.last_fresh_events = events

@@ -383,6 +383,12 @@ class BulkIngestor:
                             eng.triggers.on_change(p, vid, v, now)
                 else:
                     d.update(pairs)
+            if eng._serve_flush_hook is not None:
+                # A bulk flush bypasses _write_value, so the serving
+                # layer's per-write invalidation never fired; drop its
+                # (non-absorbing) cached entries for this program
+                # wholesale instead.
+                eng._serve_flush_hook(p)
         self.engaged = False
         self._synced_vals = eng._value_mutations
         if count_fallback:

@@ -239,6 +239,18 @@ class DynamicEngine(RankHandler):
         # the per-event hot path pays one is-None check.
         self._value_write_hook: Callable[[int, int, Any], None] | None = None
         self._insert_hook: Callable[[int, int, int], None] | None = None
+        # Serving-layer cache invalidation (repro.serving): fired on
+        # every per-event value write as ``hook(prog, vertex)`` so a
+        # stable-value cache can drop the entry.  The ServingLayer
+        # installs it lazily — only once the cache holds entries — so a
+        # serving layer that is attached but idle costs exactly one
+        # is-None check per write, same discipline as the tracer.
+        self._serve_invalidate: Callable[[int, int], None] | None = None
+        # Coarse companion for the bulk path: a value flush from the
+        # dense mirror (repro.runtime.bulk) bypasses _write_value, so it
+        # fires ``hook(prog)`` once per program instead — the serving
+        # layer drops every non-absorbing entry for that program.
+        self._serve_flush_hook: Callable[[int], None] | None = None
         for r in range(n):
             self.loop.set_source_active(r, False)
 
@@ -463,6 +475,37 @@ class DynamicEngine(RankHandler):
         for rank_vals in self.values:
             merged.update(rank_vals[p])
         return merged
+
+    # -- serving-layer accessors (repro.serving) ------------------------
+    def vtime(self) -> float:
+        """The cluster's current virtual time (max over rank clocks) —
+        the ``as_of_vtime`` a served answer is stamped with."""
+        return self.loop.max_time()
+
+    def drained(self) -> bool:
+        """True iff every ingested event has fully propagated: nothing
+        in flight or queued, and no bulk mirror ahead of the value
+        dicts.  For REMO programs this is the *stability criterion*
+        (§II-D monotone convergence): a drained engine's live state
+        equals the static answer on the ingested-so-far prefix, so any
+        value read now is provably converged for that prefix.  Streams
+        may still hold future events — those are not in the prefix.
+        """
+        if self.loop.in_flight:
+            return False
+        b = self._bulk
+        return b is None or not b.engaged
+
+    def ingest_watermark(self) -> int:
+        """Total source events ingested across all ranks — identifies
+        the discretized prefix a served answer reflects."""
+        return sum(c.source_events for c in self.counters)
+
+    def write_epoch(self) -> int:
+        """Monotone counter over topology + value mutations.  Two reads
+        bracketed by equal epochs observed identical engine state; the
+        freshness-probe stability criterion keys off it."""
+        return self._topo_mutations + self._value_mutations
 
     @property
     def num_edges(self) -> int:
@@ -875,6 +918,8 @@ class DynamicEngine(RankHandler):
                 merged = program.merge(old, value)
                 if merged != old:
                     vals[vertex] = merged
+                    if self._serve_invalidate is not None:
+                        self._serve_invalidate(prog, vertex)
                     if self.triggers.has_triggers(prog):
                         self.triggers.on_change(prog, vertex, merged, self.loop.now(rank))
             return
@@ -888,6 +933,8 @@ class DynamicEngine(RankHandler):
         vals[vertex] = value
         if self._value_write_hook is not None:
             self._value_write_hook(prog, vertex, value)
+        if self._serve_invalidate is not None:
+            self._serve_invalidate(prog, vertex)
         if self.triggers.has_triggers(prog):
             self.triggers.on_change(prog, vertex, value, self.loop.now(rank))
 

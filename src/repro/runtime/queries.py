@@ -60,16 +60,25 @@ class Trigger:
 class TriggerManager:
     """Holds triggers per program; consulted on every value write.
 
-    Vertex-scoped triggers are indexed by vertex so the per-write cost
-    is a dict lookup when no global triggers exist (keeping the §III-E
-    'constant time' observation property).
+    Vertex-scoped triggers are indexed by ``(prog, vertex)`` so the
+    per-write cost is one dict lookup plus a scan of only the separate
+    any-vertex list — never a scan over every registered trigger
+    (keeping the §III-E 'constant time' observation property even with
+    tens of thousands of registered point subscriptions; see
+    ``benchmarks/bench_trigger_index.py``).  Live per-program counts
+    make the write-path guards (:meth:`has_triggers` / :meth:`has_any`)
+    O(1), and removal prunes emptied index slots so deregistered
+    subscriptions stop costing anything at all.
     """
 
     def __init__(self) -> None:
         self._next_id = 0
-        # prog -> vertex -> [Trigger];  prog -> [Trigger] (global)
+        # prog -> vertex -> [Trigger];  prog -> [Trigger] (any-vertex)
         self._by_vertex: dict[int, dict[int, list[Trigger]]] = {}
         self._global: dict[int, list[Trigger]] = {}
+        # prog -> live trigger count (vertex-scoped + any-vertex)
+        self._counts: dict[int, int] = {}
+        self._total = 0
         self.fired_count = 0
 
     def add(
@@ -87,30 +96,56 @@ class TriggerManager:
             self._global.setdefault(prog, []).append(trig)
         else:
             self._by_vertex.setdefault(prog, {}).setdefault(vertex, []).append(trig)
+        self._counts[prog] = self._counts.get(prog, 0) + 1
+        self._total += 1
         return trig
 
     def remove(self, trig: Trigger) -> bool:
-        """Deregister; returns True iff the trigger was present."""
+        """Deregister; returns True iff the trigger was present.
+
+        Emptied index slots are pruned so the per-write guards go back
+        to reporting (and costing) nothing once every trigger on a
+        program is gone.
+        """
         if trig.vertex is None:
             lst = self._global.get(trig.prog, [])
+            try:
+                lst.remove(trig)
+            except ValueError:
+                return False
+            if not lst:
+                self._global.pop(trig.prog, None)
         else:
-            lst = self._by_vertex.get(trig.prog, {}).get(trig.vertex, [])
-        try:
-            lst.remove(trig)
-            return True
-        except ValueError:
-            return False
+            per_v = self._by_vertex.get(trig.prog, {})
+            lst = per_v.get(trig.vertex, [])
+            try:
+                lst.remove(trig)
+            except ValueError:
+                return False
+            if not lst:
+                per_v.pop(trig.vertex, None)
+                if not per_v:
+                    self._by_vertex.pop(trig.prog, None)
+        self._counts[trig.prog] -= 1
+        if not self._counts[trig.prog]:
+            del self._counts[trig.prog]
+        self._total -= 1
+        return True
+
+    def count(self, prog: int | None = None) -> int:
+        """Live trigger count for one program (or all, when None)."""
+        if prog is None:
+            return self._total
+        return self._counts.get(prog, 0)
 
     def has_triggers(self, prog: int) -> bool:
-        return bool(self._global.get(prog)) or bool(self._by_vertex.get(prog))
+        return prog in self._counts
 
     def has_any(self) -> bool:
         """Any trigger registered on any program?  (Bulk-ingest
         eligibility: chunked replay cannot report the exact virtual
         instant a predicate first became true.)"""
-        return any(self._global.values()) or any(
-            any(lst for lst in per_v.values()) for per_v in self._by_vertex.values()
-        )
+        return self._total > 0
 
     def on_change(self, prog: int, vertex: int, value: Any, time: float) -> None:
         """Engine hook: a program value was written."""

@@ -1,0 +1,36 @@
+"""On-line query serving against live REMO state (DESIGN.md §10).
+
+Sub-millisecond point reads — distance, component membership,
+reachability, widest-path capacity — served *during* ingest via a
+stable-value cache with monotone-bound admission, falling back to
+bounded-staleness live reads with an explicit
+``(value, as_of_vtime, stale)`` envelope.
+"""
+
+from repro.serving.cache import StableValueCache
+from repro.serving.server import (
+    EngineBackend,
+    FrozenBackend,
+    QueryResult,
+    ServingLayer,
+)
+from repro.serving.workload import (
+    KINDS_FOR,
+    MixedWorkloadDriver,
+    WorkloadResult,
+    WorkloadSpec,
+    make_prefix_oracle,
+)
+
+__all__ = [
+    "StableValueCache",
+    "EngineBackend",
+    "FrozenBackend",
+    "QueryResult",
+    "ServingLayer",
+    "KINDS_FOR",
+    "MixedWorkloadDriver",
+    "WorkloadResult",
+    "WorkloadSpec",
+    "make_prefix_oracle",
+]

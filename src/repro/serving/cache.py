@@ -1,0 +1,109 @@
+"""The stable-value cache: O(1) point reads for provably converged state.
+
+The serving layer's core perf mechanism, after Afarin et al.'s stable
+vertex values (PAPERS.md): for a REMO program a vertex's value moves
+*monotonically* toward its static answer and never overshoots it, so
+there are two moments at which a value is provably done changing —
+
+* **absorbing** — the value equals a known monotone bound (the static
+  answer on the *full* intended stream).  Monotone convergence makes
+  equality absorbing: the value can never move again, ever, so the
+  entry survives even bulk value flushes;
+* **settled** — the engine is drained (or the freshness probe proved
+  lag zero at an unchanged write epoch), i.e. the value is the
+  converged answer on the *ingested-so-far* prefix.  It may still
+  change when future stream events arrive, which is why every per-event
+  value write fires the engine's ``_serve_invalidate`` hook and drops
+  the entry.
+
+Either way, a cached entry always equals the live engine value — the
+per-write invalidation hook guarantees coherence — so a cache hit is an
+exact substitute for a live read that costs one dict probe instead of
+touching engine state at all.
+
+Keyed by ``(prog, vertex)`` as two levels of dict; the hot invalidation
+path (`invalidate`) is a get + pop, cheap enough to ride every value
+write once any entries exist (the ServingLayer installs the hook
+lazily so an idle serving layer costs nothing).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+#: Cache entry tuple layout: (value, admitted_vtime, absorbing).
+Entry = tuple[Any, float, bool]
+
+
+class StableValueCache:
+    """Per-program stable-value store with hit/miss/invalidation stats."""
+
+    __slots__ = ("_entries", "hits", "misses", "admissions", "invalidations")
+
+    def __init__(self, n_progs: int) -> None:
+        self._entries: list[dict[int, Entry]] = [dict() for _ in range(n_progs)]
+        self.hits = 0
+        self.misses = 0
+        self.admissions = 0
+        self.invalidations = 0
+
+    # -- read path -------------------------------------------------------
+    def lookup(self, prog: int, vertex: int) -> Entry | None:
+        """The entry for ``(prog, vertex)``, counting the hit/miss."""
+        entry = self._entries[prog].get(vertex)
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    # -- admission -------------------------------------------------------
+    def admit(
+        self, prog: int, vertex: int, value: Any, vtime: float, absorbing: bool
+    ) -> None:
+        self._entries[prog][vertex] = (value, vtime, absorbing)
+        self.admissions += 1
+
+    # -- invalidation ----------------------------------------------------
+    def invalidate(self, prog: int, vertex: int) -> None:
+        """Per-write hook: the engine wrote ``(prog, vertex)``; drop the
+        entry (absorbing included — a write to an absorbed vertex can
+        only restate the same value, so dropping is merely a re-miss)."""
+        if self._entries[prog].pop(vertex, None) is not None:
+            self.invalidations += 1
+
+    def flush_prog(self, prog: int) -> None:
+        """Bulk-flush hook: values for ``prog`` were rewritten outside
+        the per-write path; drop everything except absorbing entries
+        (their monotone bound holds regardless of how values flow)."""
+        entries = self._entries[prog]
+        doomed = [v for v, e in entries.items() if not e[2]]
+        for v in doomed:
+            del entries[v]
+        self.invalidations += len(doomed)
+
+    def clear(self) -> None:
+        for d in self._entries:
+            d.clear()
+
+    # -- introspection ---------------------------------------------------
+    def __len__(self) -> int:
+        return sum(len(d) for d in self._entries)
+
+    def size(self, prog: int) -> int:
+        return len(self._entries[prog])
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "entries": len(self),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "admissions": self.admissions,
+            "invalidations": self.invalidations,
+        }

@@ -104,6 +104,63 @@ class TestCompareDocs:
         assert compare_docs(base, fresh, tolerance=0.25) == []
 
 
+class TestServingGates:
+    """The gate flavours added for BENCH_serving (hit_rate, lower-is-
+    better p99 latency, same-host cache-vs-collection ratio)."""
+
+    SERVING = {
+        "bench": "serving_latency",
+        "converged": {"hit_rate": 0.95, "wall_p99_point_us": 10.0,
+                      "wall_p50_point_us": 3.0, "hit_rate_mixed": 0.02},
+        "wall_speedup_cache_vs_collection": 100.0,
+        "wall_speedup_trigger_index": 2000.0,
+    }
+
+    def test_gated_paths(self):
+        paths = dict(iter_metrics(self.SERVING))
+        assert set(paths) == {
+            "converged.hit_rate",
+            "converged.wall_p99_point_us",
+            "wall_speedup_cache_vs_collection",
+            "wall_speedup_trigger_index",
+        }
+        # hit_rate_mixed (nondeterministic mid-ingest figure) and the
+        # plain-wall p50 stay ungated.
+
+    def test_hit_rate_drop_fails(self):
+        fresh = clone(self.SERVING)
+        fresh["converged"]["hit_rate"] = 0.60  # -37%
+        problems = compare_docs(self.SERVING, fresh, tolerance=0.25)
+        assert len(problems) == 1 and "hit_rate" in problems[0]
+
+    def test_p99_increase_gated_with_loose_override(self):
+        fresh = clone(self.SERVING)
+        fresh["converged"]["wall_p99_point_us"] = 24.0  # 2.4x: within 2.5x
+        assert compare_docs(self.SERVING, fresh, tolerance=0.25) == []
+        fresh["converged"]["wall_p99_point_us"] = 30.0  # 3.0x: blowup
+        problems = compare_docs(self.SERVING, fresh, tolerance=0.25)
+        assert len(problems) == 1 and "wall_p99_point_us" in problems[0]
+
+    def test_p99_decrease_is_an_improvement(self):
+        fresh = clone(self.SERVING)
+        fresh["converged"]["wall_p99_point_us"] = 1.0
+        assert compare_docs(self.SERVING, fresh, tolerance=0.25) == []
+
+    def test_same_host_ratios_gated_with_override(self):
+        # 2x jitter around a ~100x ratio passes (override 0.5)...
+        fresh = clone(
+            self.SERVING,
+            wall_speedup_cache_vs_collection=55.0,
+            wall_speedup_trigger_index=1100.0,
+        )
+        assert compare_docs(self.SERVING, fresh, tolerance=0.25) == []
+        # ...a structural collapse does not.
+        fresh = clone(self.SERVING, wall_speedup_cache_vs_collection=2.0)
+        problems = compare_docs(self.SERVING, fresh, tolerance=0.25)
+        assert len(problems) == 1
+        assert "wall_speedup_cache_vs_collection" in problems[0]
+
+
 def write_tree(directory, **docs):
     directory.mkdir(exist_ok=True)
     for name, doc in docs.items():

@@ -1,13 +1,16 @@
 """Output-shape contract of the bench harness's ``report_json``.
 
-The driver and EXPERIMENTS.md consumers rely on three properties of the
-``BENCH_*.json`` artifacts: they land at the repo root, their keys are
-sorted (stable diffs), and they end with a trailing newline (POSIX
-text files).  Locked in here so harness refactors cannot silently
-change the artifact format.
+The driver and EXPERIMENTS.md consumers rely on the ``BENCH_*.json``
+artifacts landing at the repo root, having sorted keys (stable diffs),
+ending with a trailing newline (POSIX text files), and carrying a
+``meta`` block recording the run environment (cores, python, commit)
+so numbers are comparable across hosts.  Locked in here so harness
+refactors cannot silently change the artifact format.
 """
 
 import json
+import os
+import platform
 import sys
 from pathlib import Path
 
@@ -15,13 +18,23 @@ REPO_ROOT = Path(__file__).resolve().parents[2]
 sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 
 from harness import REPO_ROOT as HARNESS_ROOT  # noqa: E402
-from harness import report_json  # noqa: E402
+from harness import report_json, run_metadata  # noqa: E402
 
 PAYLOAD = {
     "zeta": 1,
     "alpha": {"nested_z": [3, 2, 1], "nested_a": True},
     "mid": None,
 }
+
+
+def test_run_metadata_contents():
+    meta = run_metadata()
+    assert meta["cores"] == os.cpu_count()
+    assert meta["python"] == platform.python_version()
+    assert isinstance(meta["commit"], str) and meta["commit"]
+    assert isinstance(meta["bench_scale"], int)
+    assert isinstance(meta["ranks_per_node"], int)
+    assert meta["host_platform"]
 
 
 def test_report_json_shape(tmp_path):
@@ -37,15 +50,31 @@ def test_report_json_shape(tmp_path):
         # Trailing newline, exactly one.
         assert text.endswith("\n")
         assert not text.endswith("\n\n")
-        # Round-trips losslessly.
-        assert json.loads(text) == PAYLOAD
+        loaded = json.loads(text)
+        # The payload round-trips losslessly, plus the stamped meta.
+        meta = loaded.pop("meta")
+        assert loaded == PAYLOAD
+        assert meta["cores"] == os.cpu_count()
+        assert meta["python"] == platform.python_version()
+        assert meta["commit"]
         # Keys sorted at every nesting level (indent 2, sort_keys).
-        assert text == json.dumps(PAYLOAD, indent=2, sort_keys=True) + "\n"
+        assert text == json.dumps(
+            json.loads(text), indent=2, sort_keys=True
+        ) + "\n"
         lines = text.splitlines()
         top_keys = [
             line.split('"')[1] for line in lines if line.startswith('  "')
         ]
-        assert top_keys == sorted(top_keys) == ["alpha", "mid", "zeta"]
+        assert top_keys == sorted(top_keys) == ["alpha", "meta", "mid", "zeta"]
+    finally:
+        path.unlink(missing_ok=True)
+
+
+def test_report_json_keeps_explicit_meta(tmp_path):
+    name = "_pytest_shape_probe_meta"
+    path = report_json(name, {"k": 1, "meta": {"cores": -1}})
+    try:
+        assert json.loads(path.read_text())["meta"] == {"cores": -1}
     finally:
         path.unlink(missing_ok=True)
 
@@ -55,6 +84,7 @@ def test_report_json_returns_written_path(tmp_path):
     path = report_json(name, {"k": 1})
     try:
         assert path.exists()
-        assert json.loads(path.read_text()) == {"k": 1}
+        doc = json.loads(path.read_text())
+        assert doc["k"] == 1 and "meta" in doc
     finally:
         path.unlink(missing_ok=True)

@@ -118,6 +118,25 @@ class TestFreshnessProbe:
         series = [ev for ev in eng.tracer.events if ev[2] == "freshness/cc"]
         assert len(series) == len(eng.metrics.rows("freshness"))
 
+    def test_watch_for_exposes_last_verdict(self):
+        # The serving layer's probe-based stability criterion reads the
+        # last sampled verdict: last_stale == 0 with write_epoch
+        # unchanged proves convergence on the ingested prefix.
+        eng = probed_run([IncrementalCC()], kind="cc")
+        watch = eng.sampler.freshness.watch_for("cc")
+        assert watch is not None
+        assert watch.last_stale == 0
+        assert watch.last_epoch == eng.write_epoch()
+        assert eng.sampler.freshness.watch_for("nope") is None
+
+    def test_watch_starts_unsampled(self):
+        eng = DynamicEngine(
+            [IncrementalCC()], EngineConfig(n_ranks=1, sample_interval=1.0)
+        )
+        eng.add_freshness_probe("cc", make_reference("cc"))
+        watch = eng.sampler.freshness.watch_for("cc")
+        assert watch.last_stale == -1 and watch.last_epoch == -1
+
     def test_bulk_mirror_flush_is_not_a_deoptimization(self):
         # Probing a bulk-ingest run folds the dense mirror back before
         # each reference check; that observer read must not count as a

@@ -98,6 +98,34 @@ class TestTriggerManagerUnit:
         assert tm.has_triggers(0)
         assert not tm.has_triggers(1)
 
+    def test_count_tracks_live_triggers(self):
+        tm = TriggerManager()
+        assert tm.count() == 0 and not tm.has_any()
+        a = tm.add(0, lambda v, val: True, lambda *x: None, vertex=3)
+        b = tm.add(0, lambda v, val: True, lambda *x: None)
+        c = tm.add(1, lambda v, val: True, lambda *x: None, vertex=9)
+        assert tm.count() == 3 and tm.has_any()
+        assert tm.count(0) == 2 and tm.count(1) == 1 and tm.count(2) == 0
+        tm.remove(b)
+        assert tm.count(0) == 1
+        tm.remove(a)
+        tm.remove(c)
+        assert tm.count() == 0 and not tm.has_any()
+
+    def test_remove_prunes_index_slots(self):
+        # Deregistering the last trigger on a program must restore the
+        # O(1) write-path guard to False — emptied lists are pruned,
+        # not left behind as truthy-container garbage.
+        tm = TriggerManager()
+        vertex_scoped = tm.add(0, lambda v, val: True, lambda *x: None, vertex=3)
+        any_vertex = tm.add(0, lambda v, val: True, lambda *x: None)
+        assert tm.has_triggers(0)
+        tm.remove(vertex_scoped)
+        assert tm.has_triggers(0)  # the any-vertex one remains
+        tm.remove(any_vertex)
+        assert not tm.has_triggers(0)
+        assert not tm._by_vertex and not tm._global
+
     def test_fired_count(self):
         tm = TriggerManager()
         tm.add(0, lambda v, val: True, lambda *a: None)

@@ -1,0 +1,96 @@
+"""Unit contract of the stable-value cache (repro.serving.cache)."""
+
+from repro.serving.cache import StableValueCache
+
+
+class TestLookupAdmit:
+    def test_empty_cache_misses(self):
+        cache = StableValueCache(2)
+        assert cache.lookup(0, 7) is None
+        assert cache.misses == 1 and cache.hits == 0
+
+    def test_admit_then_hit_returns_entry(self):
+        cache = StableValueCache(1)
+        cache.admit(0, 7, value=3, vtime=1.5, absorbing=False)
+        entry = cache.lookup(0, 7)
+        assert entry == (3, 1.5, False)
+        assert cache.hits == 1 and cache.admissions == 1
+
+    def test_programs_are_isolated(self):
+        cache = StableValueCache(2)
+        cache.admit(0, 7, 3, 0.0, False)
+        assert cache.lookup(1, 7) is None
+        assert cache.size(0) == 1 and cache.size(1) == 0
+
+    def test_readmission_overwrites(self):
+        cache = StableValueCache(1)
+        cache.admit(0, 7, 3, 0.0, False)
+        cache.admit(0, 7, 2, 1.0, True)
+        assert cache.lookup(0, 7) == (2, 1.0, True)
+        assert len(cache) == 1
+
+
+class TestInvalidation:
+    def test_invalidate_drops_and_counts(self):
+        cache = StableValueCache(1)
+        cache.admit(0, 7, 3, 0.0, False)
+        cache.invalidate(0, 7)
+        assert cache.lookup(0, 7) is None
+        assert cache.invalidations == 1
+
+    def test_invalidate_absent_is_free(self):
+        cache = StableValueCache(1)
+        cache.invalidate(0, 99)
+        assert cache.invalidations == 0
+
+    def test_invalidate_drops_absorbing_too(self):
+        # A write to an absorbed vertex can only restate the bound, so
+        # dropping is safe (merely a re-miss) — and simpler than
+        # branching on the per-write hot path.
+        cache = StableValueCache(1)
+        cache.admit(0, 7, 3, 0.0, absorbing=True)
+        cache.invalidate(0, 7)
+        assert cache.lookup(0, 7) is None
+
+    def test_flush_prog_keeps_only_absorbing(self):
+        cache = StableValueCache(2)
+        cache.admit(0, 1, 10, 0.0, absorbing=True)
+        cache.admit(0, 2, 20, 0.0, absorbing=False)
+        cache.admit(1, 3, 30, 0.0, absorbing=False)
+        cache.flush_prog(0)
+        assert cache.lookup(0, 1) is not None  # monotone bound holds
+        assert cache.lookup(0, 2) is None
+        assert cache.lookup(1, 3) is not None  # other program untouched
+        assert cache.invalidations == 1
+
+    def test_clear_empties_everything(self):
+        cache = StableValueCache(2)
+        cache.admit(0, 1, 1, 0.0, True)
+        cache.admit(1, 2, 2, 0.0, False)
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestStats:
+    def test_hit_rate(self):
+        cache = StableValueCache(1)
+        assert cache.hit_rate == 0.0
+        cache.admit(0, 1, 1, 0.0, False)
+        cache.lookup(0, 1)
+        cache.lookup(0, 2)
+        assert cache.hit_rate == 0.5
+
+    def test_stats_dict(self):
+        cache = StableValueCache(1)
+        cache.admit(0, 1, 1, 0.0, False)
+        cache.lookup(0, 1)
+        cache.invalidate(0, 1)
+        stats = cache.stats()
+        assert stats == {
+            "entries": 0,
+            "hits": 1,
+            "misses": 0,
+            "hit_rate": 1.0,
+            "admissions": 1,
+            "invalidations": 1,
+        }
