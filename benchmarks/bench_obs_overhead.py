@@ -17,7 +17,16 @@ pins the acceptance criterion down two ways:
    significant — every dispatch then appends an event tuple — which is
    why telemetry is opt-in).
 
-Emits machine-readable results to ``BENCH_obs_overhead.json``.
+The mp backend gets the same treatment: its hot loop carries
+``if obs is not None`` guards (drain / dispatch / ingest / emit sites in
+``worker.py``/``loop.py``/``vecapply.py``), which is the identical
+Python operation (attribute load + identity check), so the measured
+guard cost applies to both rows; only the per-event wall cost and the
+guard budget differ.  A 2-rank shm run with obs disabled provides the
+mp per-event denominator.
+
+Emits machine-readable results to ``BENCH_obs_overhead.json`` (one
+document, a DES section and an mp section).
 """
 
 import time
@@ -28,6 +37,9 @@ from conftest import report_table
 from harness import BENCH_SCALE, fmt_table, report_json, run_dynamic
 
 from repro import IncrementalCC
+from repro.events.stream import split_streams
+from repro.parallel import WireConfig, run_parallel
+from repro.runtime.engine import EngineConfig
 
 N_EVENTS = 1 << (14 + BENCH_SCALE)
 N_VERTICES = N_EVENTS // 4
@@ -36,6 +48,12 @@ N_NODES = 1
 # source pull (1 site), ADD + REVERSE_ADD dispatch (entry + exit + a
 # metrics check each = 6), plus slack for UPDATE fan-out dispatches.
 GUARDS_PER_EVENT = 12
+# The mp hot loop's guards fire per *batch* (one drain span per doorbell,
+# one emit span per flushed frame, one ingest span per pulled chunk), so
+# per-event this is wildly pessimistic — but the mp per-event wall cost
+# is also orders of magnitude above one guard.
+MP_GUARDS_PER_EVENT = 8
+MP_RANKS = 2
 MAX_OVERHEAD = 0.03
 
 
@@ -91,17 +109,33 @@ def measure_guard_seconds(engine, n: int = 100_000, rounds: int = 5) -> float:
     return min(per_guard)
 
 
+def _mp_disabled_run(src: np.ndarray, dst: np.ndarray):
+    """One obs-disabled 2-rank shm run; returns (result, wall_seconds)."""
+    rng = np.random.default_rng(11)
+    t0 = time.perf_counter()
+    result = run_parallel(
+        [IncrementalCC()],
+        split_streams(src, dst, MP_RANKS, rng=rng),
+        config=EngineConfig(n_ranks=MP_RANKS),
+        wire=WireConfig(kind="shm", start_method="fork"),
+    )
+    return result, time.perf_counter() - t0
+
+
 def _experiment():
     src, dst = saturation_stream()
     runs = {}
     for traced in (False, True):
         runs[traced] = run_dynamic(src, dst, [IncrementalCC()], N_NODES, trace=traced)
     guard_s = measure_guard_seconds(runs[False].engine)
-    return runs, guard_s
+    mp_result, mp_wall = _mp_disabled_run(src, dst)
+    return runs, guard_s, mp_result, mp_wall
 
 
 def test_obs_overhead(benchmark):
-    (runs, guard_s) = benchmark.pedantic(_experiment, iterations=1, rounds=1)
+    (runs, guard_s, mp_result, mp_wall) = benchmark.pedantic(
+        _experiment, iterations=1, rounds=1
+    )
     off, on = runs[False], runs[True]
 
     # Sanity: both paths did the same simulated work; only the traced
@@ -114,6 +148,14 @@ def test_obs_overhead(benchmark):
     guard_overhead = GUARDS_PER_EVENT * guard_s / per_event_s
     enabled_ratio = on.wall_seconds / off.wall_seconds
 
+    # mp row: an obs-disabled worker never constructs a RankObs, so the
+    # residual cost is the same guard applied at the mp loop's emission
+    # sites, against the mp backend's (much larger) per-event wall cost.
+    assert mp_result.obs is None
+    assert mp_result.source_events == N_EVENTS
+    mp_per_event_s = mp_wall / mp_result.source_events
+    mp_guard_overhead = MP_GUARDS_PER_EVENT * guard_s / mp_per_event_s
+
     rows = [
         ["per-event wall cost", f"{per_event_s * 1e9:.0f} ns"],
         ["one disabled guard", f"{guard_s * 1e9:.2f} ns"],
@@ -122,6 +164,9 @@ def test_obs_overhead(benchmark):
         ["ceiling", f"{MAX_OVERHEAD:.0%}"],
         ["enabled/disabled wall", f"{enabled_ratio:.2f}x"],
         ["trace events recorded", f"{len(on.engine.tracer):,}"],
+        [f"mp per-event wall ({MP_RANKS} ranks)", f"{mp_per_event_s * 1e9:.0f} ns"],
+        ["mp guards budgeted/event", str(MP_GUARDS_PER_EVENT)],
+        ["mp disabled overhead", f"{mp_guard_overhead:.4%}"],
     ]
     table = fmt_table(
         ["measure", "value"],
@@ -145,13 +190,28 @@ def test_obs_overhead(benchmark):
             "enabled_wall_ratio": enabled_ratio,
             "disabled_report": off.report.to_dict(),
             "traced_report": on.report.to_dict(),
+            "mp": {
+                "ranks": MP_RANKS,
+                "wire": "shm",
+                "per_event_wall_seconds": mp_per_event_s,
+                "guards_per_event": MP_GUARDS_PER_EVENT,
+                "wall_seconds": mp_wall,
+            },
+            "disabled_overhead_mp_fraction": mp_guard_overhead,
         },
     )
 
     # The acceptance criterion: instrumentation left on the hot path
-    # must cost < 3% of a run with telemetry disabled.
+    # must cost < 3% of a run with telemetry disabled — on both
+    # backends.
     assert guard_overhead < MAX_OVERHEAD, (
         f"disabled-telemetry guard overhead {guard_overhead:.2%} exceeds "
         f"{MAX_OVERHEAD:.0%} ({guard_s * 1e9:.2f} ns/guard x "
         f"{GUARDS_PER_EVENT}/event vs {per_event_s * 1e9:.0f} ns/event)"
+    )
+    assert mp_guard_overhead < MAX_OVERHEAD, (
+        f"mp disabled-telemetry guard overhead {mp_guard_overhead:.3%} "
+        f"exceeds {MAX_OVERHEAD:.0%} ({guard_s * 1e9:.2f} ns/guard x "
+        f"{MP_GUARDS_PER_EVENT}/event vs {mp_per_event_s * 1e9:.0f} "
+        "ns/event on the mp backend)"
     )

@@ -88,6 +88,12 @@ def test_parallel_scaling(benchmark):
         assert result.state("cc") == base_state, f"{n_ranks}-rank state diverged"
         assert result.wire["wire_sent"] == result.wire["wire_received"]
         assert result.source_events == N_EVENTS
+        if n_ranks > 1:
+            # Ring-health counters must survive the harvest: the shm
+            # data plane's backpressure is part of the artifact now.
+            for key in ("ring_stalls", "ring_pad_bytes", "ring_torn_retries",
+                        "overflow_hwm_records"):
+                assert key in result.ring_health, f"{key} missing at {n_ranks}r"
         speedup = result.events_per_second / base_rate
         # Work a rank count performs relative to 1 rank: >1 means the
         # partitioned run re-derived values it would have computed once
@@ -112,6 +118,7 @@ def test_parallel_scaling(benchmark):
             "redundant_visit_ratio": redundant_visit_ratio,
             "token_rounds": result.token_rounds,
             "wire": dict(result.wire),
+            "ring_health": result.ring_health,
             "visits": result.counters.visits,
             "kernel_records": int(result.wire.get("kernel_records", 0)),
             "edge_inserts": result.counters.edge_inserts,

@@ -115,10 +115,16 @@ def build_parser() -> argparse.ArgumentParser:
                           "(progress chatter moves to stderr)")
     obs = run.add_argument_group("telemetry (repro.obs)")
     obs.add_argument("--trace", default=None, metavar="FILE",
-                     help="record a virtual-time trace; .json = Chrome/"
-                          "Perfetto trace_event, .jsonl = compact JSONL")
+                     help="record a trace (virtual time on des, wall clock "
+                          "on mp, where all ranks merge into one multi-"
+                          "process timeline); .json = Chrome/Perfetto "
+                          "trace_event, .jsonl = compact JSONL")
     obs.add_argument("--metrics", default=None, metavar="FILE",
-                     help="write sampled time-series metrics as JSONL")
+                     help="write sampled time-series metrics as JSONL (on "
+                          "mp: the merged cross-rank counters report)")
+    obs.add_argument("--trace-per-rank", action="store_true",
+                     help="with --backend mp --trace, also write each "
+                          "rank's unmerged capture as FILE.rankN.EXT")
     obs.add_argument("--sample-interval", type=float, default=None,
                      metavar="SECONDS",
                      help="virtual-time sampling period (default: ~1/100 "
@@ -176,6 +182,10 @@ def build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--json", action="store_true",
                      help="emit the serving report as one JSON document on "
                           "stdout (progress chatter moves to stderr)")
+    srv.add_argument("--metrics", default=None, metavar="FILE",
+                     help="write the serving layer's metrics registry "
+                          "(serve_* counters plus the serve_latency_us "
+                          "histogram) as JSONL, renderable by repro report")
     rep = sub.add_parser(
         "report", help="render a trace/metrics capture as text tables"
     )
@@ -277,6 +287,42 @@ def _run_mismatches(args, engine, source_info) -> list[str] | None:
     return None
 
 
+def _write_mp_obs(args, chat, result, meta) -> None:
+    """Write the merged (and optionally per-rank) mp telemetry capture."""
+    import os
+
+    from repro.obs import Tracer, write_chrome_trace, write_metrics_jsonl, write_trace_jsonl
+
+    merged = result.obs
+    if args.trace is not None and merged.tracer is not None:
+        writer = (
+            write_trace_jsonl if args.trace.endswith(".jsonl") else write_chrome_trace
+        )
+        writer(args.trace, merged.tracer, meta)
+        chat(
+            f"trace: {len(merged.tracer):,} events from "
+            f"{len(merged.offsets)} ranks (one pid each) -> {args.trace}"
+        )
+        if args.trace_per_rank:
+            stem, ext = os.path.splitext(args.trace)
+            for rank in sorted(merged.offsets):
+                sub = Tracer()
+                sub.events = [ev for ev in merged.tracer.events if ev[1] == rank]
+                path = f"{stem}.rank{rank}{ext}"
+                writer(path, sub, {**meta, "rank": rank})
+            chat(
+                f"trace: per-rank captures -> {stem}.rank*{ext} "
+                f"({len(merged.offsets)} files)"
+            )
+    if args.metrics is not None:
+        write_metrics_jsonl(args.metrics, merged.registry, meta)
+        chat(
+            f"metrics: {len(merged.registry.counters)} cross-rank counters, "
+            f"{len(merged.registry.rows('ring_sample')):,} ring samples, "
+            f"busy skew {merged.skew():.2f} -> {args.metrics}"
+        )
+
+
 def _run_mp(
     args, chat, rng, src, dst, weights, label,
     programs, init, source_info, n_ranks,
@@ -289,8 +335,6 @@ def _run_mp(
     des_only = [
         name for name, value in [
             ("--faults", args.faults),
-            ("--trace", args.trace),
-            ("--metrics", args.metrics),
             ("--snapshot-at", args.snapshot_at),
             ("--sample-interval", args.sample_interval),
             ("--freshness", args.freshness or None),
@@ -302,6 +346,13 @@ def _run_mp(
             "only available on --backend des"
         )
         return 2
+    obs_cfg = None
+    if args.trace is not None or args.metrics is not None:
+        from repro.obs import ObsConfig
+
+        obs_cfg = ObsConfig(
+            trace=args.trace is not None, metrics=args.metrics is not None
+        )
     chat(
         f"backend: mp, {n_ranks} ranks (one OS process each), "
         f"{args.wire} wire"
@@ -313,6 +364,7 @@ def _run_mp(
         wire=WireConfig(kind=args.wire),
         init=init,
         collect_edges=args.verify,
+        obs=obs_cfg,
     )
     rate = result.events_per_second
     chat(
@@ -322,6 +374,25 @@ def _run_mp(
         f"{result.wire['frames_sent']:,} frames, "
         f"{result.token_rounds} termination rounds"
     )
+    ring = result.ring_health
+    if ring:
+        chat(
+            f"rings: {ring.get('ring_stalls', 0):,} push stalls, "
+            f"overflow hwm {ring.get('overflow_hwm_records', 0):,} records, "
+            f"{ring.get('ring_pad_bytes', 0):,} PAD bytes, "
+            f"{ring.get('pickle_records', 0):,} fallback-lane messages"
+        )
+
+    meta = {
+        "label": label,
+        "algo": args.algo,
+        "backend": "mp",
+        "wire": result.wire_kind,
+        "n_ranks": n_ranks,
+        "events": int(len(src)),
+    }
+    if result.obs is not None:
+        _write_mp_obs(args, chat, result, meta)
 
     mismatches = None
     if args.verify:
@@ -362,6 +433,8 @@ def _run_mp(
                 "checked": bool(args.verify) and mismatches is not None,
                 "mismatches": len(mismatches) if mismatches is not None else 0,
             },
+            "trace_file": args.trace,
+            "metrics_file": args.metrics,
         }
         print(json_mod.dumps(doc, indent=2))
     return 1 if mismatches else 0
@@ -799,6 +872,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
         res = driver.run()
 
     _serve_report(chat, res)
+    if args.metrics is not None:
+        from repro.obs import write_metrics_jsonl
+
+        write_metrics_jsonl(args.metrics, serving.metrics)
+        h = serving.metrics.histograms.get("serve_latency_us")
+        chat(
+            f"metrics: {len(serving.metrics.counters)} counters, "
+            f"latency histogram of {h.count if h is not None else 0:,} "
+            f"queries -> {args.metrics}"
+        )
     if args.json:
         print(
             json_mod.dumps(

@@ -15,8 +15,23 @@ deterministic and comparable across runs:
 Everything is off by default; the engine pays one ``is not None`` check
 per guarded emission when disabled (asserted <3% by
 ``benchmarks/bench_obs_overhead.py``).
+
+A fourth layer, :mod:`repro.obs.distributed`, extends the same
+primitives to the process-parallel backend on **wall-clock** time:
+per-rank :class:`RankObs` captures, parent-anchored clock alignment
+(:class:`ClockAnchor`), and :func:`merge_rank_obs` folding every rank
+into one multi-process trace plus a cross-rank counters report.
 """
 
+from repro.obs.distributed import (
+    MP_BUSY_CATEGORIES,
+    ClockAnchor,
+    MergedObs,
+    ObsConfig,
+    RankObs,
+    harvest_payload,
+    merge_rank_obs,
+)
 from repro.obs.export import (
     chrome_trace_dict,
     read_jsonl,
@@ -39,13 +54,20 @@ from repro.obs.tracer import BUSY_CATEGORIES, Tracer
 __all__ = [
     "BUSY_CATEGORIES",
     "DEFAULT_BOUNDS_US",
+    "MP_BUSY_CATEGORIES",
+    "ClockAnchor",
     "FreshnessProbe",
     "Histogram",
+    "MergedObs",
     "MetricsRegistry",
+    "ObsConfig",
+    "RankObs",
     "Tracer",
     "VirtualTimeSampler",
     "chrome_trace_dict",
+    "harvest_payload",
     "make_reference",
+    "merge_rank_obs",
     "read_jsonl",
     "render_metrics_report",
     "render_trace_report",

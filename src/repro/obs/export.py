@@ -260,6 +260,13 @@ def render_trace_report(trace: str | dict[str, Any]) -> str:
             rank_rows,
             title=f"Span time by rank and category (trace end: {_fmt_us(t_max / _SCALE)})",
         ),
+    ]
+    if len(per_rank) > 1:
+        totals = [sum(by_cat.values()) for by_cat in per_rank.values()]
+        if sum(totals):
+            skew = max(totals) / (sum(totals) / len(totals))
+            parts.append(f"rank skew (max/mean span time): {skew:.2f}")
+    parts += [
         "",
         _table(["span", "count", "total", "mean"], name_rows, title="Span time by name"),
     ]
@@ -281,6 +288,10 @@ def render_metrics_report(rows: Iterable[dict[str, Any]]) -> str:
     rows = list(rows)
     samples = [r for r in rows if r.get("kind") == "sample"]
     fresh = [r for r in rows if r.get("kind") == "freshness"]
+    rank_rows = [r for r in rows if r.get("kind") == "rank"]
+    ring_samples = [r for r in rows if r.get("kind") == "ring_sample"]
+    hists = [r for r in rows if r.get("kind") == "histogram"]
+    counters = next((r for r in rows if r.get("kind") == "counters"), None)
     parts = []
     if samples:
         scalar_keys = [
@@ -358,6 +369,104 @@ def render_metrics_report(rows: Iterable[dict[str, Any]]) -> str:
                 "ingested prefix)",
             )
         )
+    if rank_rows:
+        table = []
+        for r in sorted(rank_rows, key=lambda r: r.get("rank", 0)):
+            table.append(
+                [
+                    str(r.get("rank", "?")),
+                    _fmt_us(r.get("wall_seconds", 0.0)),
+                    _fmt_us(r.get("busy_seconds", 0.0)),
+                    f"{r.get('busy_frac', 0.0):.1%}",
+                    f"{r.get('wire_sent', 0):,}",
+                    f"{r.get('wire_received', 0):,}",
+                    f"{r.get('ring_stalls', 0):,}",
+                ]
+            )
+        busy = [r.get("busy_seconds", 0.0) for r in rank_rows]
+        skew = max(busy) / (sum(busy) / len(busy)) if sum(busy) else 1.0
+        if parts:
+            parts.append("")
+        parts.append(
+            _table(
+                ["rank", "wall", "busy", "busy%", "sent", "received", "stalls"],
+                table,
+                title=f"Per-rank load (mp backend, busy skew max/mean = {skew:.2f})",
+            )
+        )
+    if ring_samples and parts:
+        parts.append("")
+    if ring_samples:
+        peak = max(
+            (
+                max(r.get("ring_in_used", {0: 0}).values(), default=0)
+                for r in ring_samples
+            ),
+            default=0,
+        )
+        parts.append(
+            f"Ring occupancy: {len(ring_samples)} doorbell samples, "
+            f"peak inbound ring {peak:,} bytes"
+        )
+    if hists:
+        table = [
+            [
+                str(h.get("name", "?")),
+                f"{h.get('count', 0):,}",
+                f"{h.get('mean', 0.0):,.1f}",
+                f"{_hist_quantile(h, 0.5):,.1f}",
+                f"{_hist_quantile(h, 0.99):,.1f}",
+                f"{h.get('max', 0) or 0:,.1f}",
+            ]
+            for h in hists
+        ]
+        if parts:
+            parts.append("")
+        parts.append(
+            _table(
+                ["histogram", "count", "mean", "p50", "p99", "max"],
+                table,
+                title="Histograms (values in recorded units, e.g. us)",
+            )
+        )
+    if counters is not None:
+        items = sorted(
+            ((k, v) for k, v in counters.items() if k != "kind"),
+            key=lambda kv: str(kv[0]),
+        )
+        if parts:
+            parts.append("")
+        parts.append(
+            _table(
+                ["counter", "value"],
+                [[str(k), f"{v:,.0f}" if isinstance(v, (int, float)) else str(v)]
+                 for k, v in items],
+                title=(
+                    "Cross-rank counters (summed over ranks)"
+                    if rank_rows
+                    else "Counters"
+                ),
+            )
+        )
     if not parts:
         parts.append("no sample rows found")
     return "\n".join(parts)
+
+
+def _hist_quantile(doc: dict[str, Any], q: float) -> float:
+    """Quantile estimate from a serialized histogram row (upper bound of
+    the containing bucket; the overflow bucket reports the max)."""
+    counts = doc.get("counts") or []
+    bounds = doc.get("bounds") or []
+    total = doc.get("count", 0)
+    if not total or not counts:
+        return 0.0
+    target = q * total
+    seen = 0
+    for i, c in enumerate(counts):
+        seen += c
+        if seen >= target and c:
+            if i < len(bounds):
+                return float(bounds[i])
+            return float(doc.get("max") or 0.0)
+    return float(doc.get("max") or 0.0)

@@ -58,6 +58,59 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def merge_from(self, other: "Histogram") -> None:
+        """Fold another histogram with identical bounds into this one.
+
+        Bucket-wise addition is associative and commutative, so merging
+        per-rank histograms in any grouping yields the same totals (the
+        cross-rank merge relies on this; see the associativity tests).
+        """
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different bounds: "
+                f"{self.bounds} vs {other.bounds}"
+            )
+        for i, c in enumerate(other.counts):
+            self.counts[i] += c
+        self.count += other.count
+        self.total += other.total
+        if other.min < self.min:
+            self.min = other.min
+        if other.max > self.max:
+            self.max = other.max
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "Histogram":
+        """Rebuild a histogram from its :meth:`to_dict` payload (the
+        picklable/JSON shape harvested from worker processes)."""
+        h = cls(tuple(doc["bounds"]))
+        h.counts = [int(c) for c in doc["counts"]]
+        h.count = int(doc["count"])
+        h.total = float(doc["total"])
+        if doc.get("min") is not None:
+            h.min = float(doc["min"])
+        if doc.get("max") is not None:
+            h.max = float(doc["max"])
+        return h
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile from the bucket counts (upper
+        bound of the containing bucket; the overflow bucket reports the
+        observed max)."""
+        if not 0 <= q <= 1:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= target and c:
+                if i < len(self.bounds):
+                    return self.bounds[i]
+                return self.max
+        return self.max
+
     def to_dict(self) -> dict[str, Any]:
         return {
             "bounds": list(self.bounds),
@@ -112,6 +165,40 @@ class MetricsRegistry:
             (r["t"], r[key]) for r in self.samples
             if r.get("kind") == kind and key in r
         ]
+
+    # -- cross-registry merge --------------------------------------------
+    def merge_from(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one.
+
+        Counters add, histograms bucket-add, samples concatenate (the
+        caller re-sorts by ``t`` if interleaving matters), and gauges
+        take the other registry's value on collision (harvest paths
+        avoid collisions by rank-prefixing gauge names).  Counter and
+        histogram merging are associative and commutative, so per-rank
+        registries can be folded in any grouping.
+        """
+        for name, value in other.counters.items():
+            self.counters[name] = self.counters.get(name, 0) + value
+        self.gauges.update(other.gauges)
+        for name, hist in other.histograms.items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                clone = Histogram(hist.bounds)
+                clone.merge_from(hist)
+                self.histograms[name] = clone
+            else:
+                mine.merge_from(hist)
+        self.samples.extend(other.samples)
+
+    @classmethod
+    def merged(cls, parts: "list[MetricsRegistry]") -> "MetricsRegistry":
+        """Fold registries into a fresh one (inputs untouched), with the
+        combined samples re-sorted by timestamp."""
+        out = cls()
+        for part in parts:
+            out.merge_from(part)
+        out.samples.sort(key=lambda r: r.get("t", 0.0))
+        return out
 
 
 class VirtualTimeSampler:

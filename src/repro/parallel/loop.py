@@ -91,6 +91,9 @@ class PipeLoop:
         self.n_ranks = n_ranks
         self._transmit = transmit
         self.batch_max = batch_max
+        # Optional per-rank observability capture (repro.obs.distributed
+        # RankObs); None = disabled, costing one guard per flush.
+        self.obs: Any = None
         self._jitter_rng = jitter_rng
         self._inbox_coalesce = inbox_coalesce
         self._threshold = self._draw_threshold()
@@ -242,6 +245,8 @@ class PipeLoop:
         buf = self._outbuf[dst_rank]
         if not buf:
             return
+        obs = self.obs
+        t0 = obs.now() if obs is not None else 0.0
         batch = [p.msg for p in buf]
         buf.clear()
         self._outbuf_index[dst_rank].clear()
@@ -249,6 +254,8 @@ class PipeLoop:
         self.frames_sent += 1
         self._transmit(dst_rank, ("B", self.rank, batch))
         self._threshold = self._draw_threshold()
+        if obs is not None:
+            obs.span("emit", t0, "emit", {"dst": dst_rank, "messages": len(batch)})
 
     def flush_all(self) -> None:
         for dst_rank in range(self.n_ranks):
@@ -383,6 +390,10 @@ class ShmLoop(PipeLoop):
         }
         self._rec_counts: dict[int, int] = dict.fromkeys(rings_out, 0)
         self.doorbells = 0
+        self.overflow_pushes = 0  # slabs a full ring bounced to overflow
+        self.overflow_hwm_records = 0  # overflow-queue record high water
+        self.pickle_slabs = 0  # K_PICKLE fallback slabs encoded
+        self.pickle_records = 0  # messages carried on the fallback lane
 
     # -- producer side -------------------------------------------------
     def flush(self, dst_rank: int) -> None:
@@ -396,12 +407,21 @@ class ShmLoop(PipeLoop):
         recs = self._rec_out.get(dst_rank)
         if not buf and not recs:
             return
+        obs = self.obs
+        t0 = obs.now() if obs is not None else 0.0
         slabs: list[tuple[int, int, Any]] = []
         if buf:
+            from repro.parallel.shm import K_PICKLE
+
             batch = [p.msg for p in buf]
             buf.clear()
             self._outbuf_index[dst_rank].clear()
-            slabs.extend(self._codec.encode_batch(batch))
+            encoded = self._codec.encode_batch(batch)
+            for kind, n, _payload in encoded:
+                if kind == K_PICKLE:
+                    self.pickle_slabs += 1
+                    self.pickle_records += n
+            slabs.extend(encoded)
         if recs:
             slabs.extend((kind, len(arr), arr) for kind, arr in recs)
             self._rec_out[dst_rank] = []
@@ -413,6 +433,13 @@ class ShmLoop(PipeLoop):
             )
         self._push_slabs(dst_rank, slabs)
         self._threshold = self._draw_threshold()
+        if obs is not None:
+            obs.span(
+                "emit",
+                t0,
+                "emit",
+                {"dst": dst_rank, "records": sum(n for _, n, _ in slabs)},
+            )
 
     def _push_slabs(self, dst_rank: int, slabs: list[tuple[int, int, Any]]) -> None:
         ring = self._rings_out[dst_rank]
@@ -433,7 +460,10 @@ class ShmLoop(PipeLoop):
             # Overflow keeps FIFO: nothing may overtake a queued slab.
             if ovf or not ring.try_push(kind, n, payload, self.rank):
                 ovf.append(slab)
+                self.overflow_pushes += 1
                 self._overflow_records += n
+                if self._overflow_records > self.overflow_hwm_records:
+                    self.overflow_hwm_records = self._overflow_records
             else:
                 self.wire_sent += n
                 self.frames_sent += 1
@@ -543,5 +573,11 @@ class ShmLoop(PipeLoop):
         stats["ring_stalls"] = sum(r.push_stalls for r in rings)
         stats["ring_pushes"] = sum(r.pushes for r in rings)
         stats["ring_hwm_bytes"] = max((r.hwm_bytes for r in rings), default=0)
+        stats["ring_pad_slabs"] = sum(r.pad_slabs for r in rings)
+        stats["ring_pad_bytes"] = sum(r.pad_bytes for r in rings)
+        stats["overflow_pushes"] = self.overflow_pushes
+        stats["overflow_hwm_records"] = self.overflow_hwm_records
+        stats["pickle_slabs"] = self.pickle_slabs
+        stats["pickle_records"] = self.pickle_records
         stats["doorbells"] = self.doorbells
         return stats

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.comm.costmodel import RankCounters
 from repro.events.stream import DELETE, ArrayEventStream, EventStream
+from repro.obs.distributed import ClockAnchor, merge_rank_obs
 from repro.parallel.shm import ShmRing, create_ring
 from repro.parallel.wire import FRAME_ERROR, FRAME_RESULT, WireConfig
 from repro.parallel.worker import worker_main
@@ -46,6 +47,9 @@ class ParallelResult:
     partition_salt: int
     wire_kind: str = "pipe"
     edges: list[tuple[int, int, int]] | None = None
+    #: Merged telemetry capture (repro.obs.distributed.MergedObs) when
+    #: the run was launched with an ObsConfig; None otherwise.
+    obs: Any = None
     partitioner: ConsistentHashPartitioner = field(init=False)
 
     def __post_init__(self) -> None:
@@ -69,8 +73,16 @@ class ParallelResult:
             return 0.0
         return self.source_events / self.wall_seconds
 
+    @property
+    def ring_health(self) -> dict[str, int]:
+        """The shm data plane's backpressure/framing counters (empty on
+        the pipe wire): ring/overflow/pad/pickle/doorbell keys from the
+        aggregated wire stats."""
+        prefixes = ("ring_", "overflow_", "pickle_", "doorbell")
+        return {k: v for k, v in self.wire.items() if k.startswith(prefixes)}
+
     def to_dict(self) -> dict[str, Any]:
-        return {
+        doc: dict[str, Any] = {
             "backend": "mp",
             "wire_kind": self.wire_kind,
             "ranks": self.n_ranks,
@@ -79,11 +91,15 @@ class ParallelResult:
             "wall_events_per_second": self.events_per_second,
             "token_rounds": self.token_rounds,
             "wire": dict(self.wire),
+            "ring_health": self.ring_health,
             "visits": self.counters.visits,
             "edge_inserts": self.counters.edge_inserts,
             "updates_squashed": self.counters.updates_squashed,
             "busy_time": self.counters.busy_time,
         }
+        if self.obs is not None:
+            doc["obs"] = self.obs.summary()
+        return doc
 
 
 class _DegreeView:
@@ -145,6 +161,7 @@ def run_parallel(
     init: list[tuple[Any, int, Any]] | None = None,
     collect_edges: bool = False,
     timeout: float = 600.0,
+    obs: Any = None,
 ) -> ParallelResult:
     """Execute one saturation run with each rank as a real OS process.
 
@@ -153,10 +170,17 @@ def run_parallel(
     to ``engine.init_program``); programs must be picklable.  DES-only
     config (bulk ingest, telemetry) is stripped before shipping.
     ``collect_edges`` additionally harvests every rank's stored edges so
-    the result can be verified against the static oracle.
+    the result can be verified against the static oracle.  ``obs`` (an
+    :class:`repro.obs.distributed.ObsConfig`) turns on per-rank
+    wall-clock telemetry, harvested and merged into ``result.obs``.
     """
     config = config or EngineConfig()
     wire = wire or WireConfig()
+    if obs is not None and not obs.enabled:
+        obs = None
+    # The parent epoch every rank's capture is aligned against must be
+    # sampled before any worker can sample its own.
+    parent_anchor = ClockAnchor.capture() if obs is not None else None
     n = config.n_ranks
     if len(streams) > n:
         raise ValueError(f"{len(streams)} streams for {n} ranks")
@@ -214,6 +238,7 @@ def run_parallel(
                     collect_edges,
                     ring_names,
                     add_only,
+                    obs,
                 ),
                 daemon=True,
             )
@@ -292,6 +317,12 @@ def run_parallel(
             f"{wire_totals['wire_sent']} sent vs "
             f"{wire_totals['wire_received']} received"
         )
+    merged_obs: Any = None
+    if parent_anchor is not None:
+        # Pop the payloads out of per_rank so the (potentially large)
+        # event lists are not duplicated in the result document.
+        payloads = [info.pop("obs") for info in per_rank if "obs" in info]
+        merged_obs = merge_rank_obs(payloads, parent_anchor)
     return ParallelResult(
         n_ranks=n,
         prog_names=prog_names,
@@ -304,4 +335,5 @@ def run_parallel(
         partition_salt=config.partition_salt,
         wire_kind=wire.kind,
         edges=edges,
+        obs=merged_obs,
     )

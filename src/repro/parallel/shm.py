@@ -60,6 +60,9 @@ HEADER_BYTES = 128  # tail @ 0, head @ 64 (separate cache lines)
 SLAB_HEADER = 32
 SLAB_ALIGN = 32
 
+# Bounded seq re-reads before a mismatch is declared corruption.
+_TORN_REREADS = 3
+
 K_PAD = 0
 K_PICKLE = 1
 K_UPDATE = 2
@@ -111,6 +114,9 @@ class ShmRing:
         self.pushes = 0
         self.push_stalls = 0  # try_push refusals (ring full)
         self.hwm_bytes = 0  # high-water occupancy observed by producer
+        self.pad_slabs = 0  # K_PAD slabs written at region ends
+        self.pad_bytes = 0  # bytes burnt on PAD framing (header + fill)
+        self.torn_retries = 0  # consumer seq re-reads before a match/raise
 
     # -- lifecycle -----------------------------------------------------
     @property
@@ -143,6 +149,25 @@ class ShmRing:
     def used(self) -> int:
         return self.tail - self.head
 
+    def health(self) -> dict[str, int]:
+        """Ring-level health counters (cheap ints, always maintained).
+
+        Producer side: ``pushes`` / ``push_stalls`` (``try_push``
+        refusals on a full ring) / ``hwm_bytes`` / ``pad_slabs`` /
+        ``pad_bytes``.  Consumer side: ``torn_retries``.  ``used`` is
+        the instantaneous occupancy at the call.
+        """
+        return {
+            "pushes": self.pushes,
+            "push_stalls": self.push_stalls,
+            "hwm_bytes": self.hwm_bytes,
+            "pad_slabs": self.pad_slabs,
+            "pad_bytes": self.pad_bytes,
+            "torn_retries": self.torn_retries,
+            "used": self.used(),
+            "capacity": self.capacity,
+        }
+
     # -- producer ------------------------------------------------------
     def try_push(
         self,
@@ -172,6 +197,8 @@ class ShmRing:
             return False
         if pad:
             self._write_header(pos, tail, K_PAD, 0, pad - SLAB_HEADER)
+            self.pad_slabs += 1
+            self.pad_bytes += pad
             tail += pad
             pos = 0
         self._write_header(pos, tail, kind, n_records, nbytes, sender)
@@ -217,9 +244,21 @@ class ShmRing:
             hdr = np.ndarray(
                 (), dtype=_SLAB_HDR_DTYPE, buffer=self._data.data, offset=pos
             )
-            if int(hdr["seq"]) != head:
+            seq = int(hdr["seq"])
+            if seq != head:
+                # On TSO hardware the tail store is published last, so a
+                # mismatch here is corruption; on a weaker machine it can
+                # also be a header store the consumer raced ahead of.  A
+                # bounded re-read separates the transient from the fatal
+                # and counts how often it happened (health telemetry).
+                for _ in range(_TORN_REREADS):
+                    self.torn_retries += 1
+                    seq = int(hdr["seq"])
+                    if seq == head:
+                        break
+            if seq != head:
                 raise RingCorruption(
-                    f"slab at ring offset {pos} stamped seq={int(hdr['seq'])}, "
+                    f"slab at ring offset {pos} stamped seq={seq}, "
                     f"expected {head} (torn or misframed write)"
                 )
             kind = int(hdr["kind"])

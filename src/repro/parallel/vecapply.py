@@ -89,6 +89,9 @@ class VecApplier:
         self.engine = engine
         self.rank = rank
         self.codec = codec
+        # Optional RankObs capture (set by the worker); one identity
+        # check per kernel drain when disabled.
+        self.obs: Any = None
         self.kernels = [p.bulk_kernel for p in engine.programs]
         self.n_programs = len(self.kernels)
         self.partitioner = engine.partitioner
@@ -310,6 +313,8 @@ class VecApplier:
         n_records = sum(int(a.size) for a in (add, radd, upd) if a is not None)
         if n_records == 0:
             return 0
+        obs = self.obs
+        t0 = obs.now() if obs is not None else 0.0
         fold_improved = self._fold_dirty()
         self.stats["kernel_batches"] += 1
         self.stats["kernel_records"] += n_records
@@ -460,6 +465,10 @@ class VecApplier:
                 )
 
         self._write_back()
+        if obs is not None:
+            # busy=False: this span nests inside the worker's "drain"
+            # span, which already accounts the time.
+            obs.span("kernel_drain", t0, "compute", {"records": n_records}, busy=False)
         return n_records
 
     def _relax_and_broadcast(self, p: int, frontier: np.ndarray, loop) -> None:

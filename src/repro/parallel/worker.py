@@ -29,6 +29,7 @@ import traceback
 from multiprocessing.connection import wait as conn_wait
 from typing import Any
 
+from repro.obs.distributed import RankObs, harvest_payload
 from repro.parallel.codec import Codec
 from repro.parallel.loop import PipeLoop, ShmLoop
 from repro.parallel.shm import K_ADD, K_RADD, K_UPDATE, ShmRing, attach_ring
@@ -63,6 +64,7 @@ def worker_main(
     collect_edges: bool,
     ring_names: dict[tuple[int, int], str] | None = None,
     add_only: bool = True,
+    obs_config: Any = None,
 ) -> None:
     """Process entry point (top-level, so it is spawn-picklable)."""
     try:
@@ -78,6 +80,7 @@ def worker_main(
             collect_edges,
             ring_names,
             add_only,
+            obs_config,
         )
         parent_conn.send((FRAME_RESULT, result))
     except BaseException:  # noqa: BLE001 - forwarded to the parent
@@ -104,6 +107,7 @@ def _run_rank(
     collect_edges: bool,
     ring_names: dict[tuple[int, int], str] | None,
     add_only: bool,
+    obs_config: Any = None,
 ) -> dict[str, Any]:
     if config.bulk_ingest or config.trace or config.sample_interval is not None:
         raise ValueError(
@@ -153,6 +157,17 @@ def _run_rank(
         )
     loop.set_update_combiners(engine._combiners)
     engine.loop = loop
+    # Per-rank wall-clock telemetry (repro.obs.distributed).  Unlike the
+    # engine-level DES telemetry rejected above, this layer is built for
+    # the mp runtime: wall timestamps, per-process capture, harvested
+    # and clock-aligned by the parent.  Disabled = obs stays None and
+    # every emission site below costs one identity check.
+    obs: Any = None
+    if obs_config is not None and obs_config.enabled:
+        obs = RankObs(rank, obs_config)
+        loop.obs = obs
+        if applier is not None:
+            applier.obs = obs
     stream_live = False
     vec_stream = None
     if stream_columns is not None:
@@ -197,7 +212,9 @@ def _run_rank(
         if not rings_in:
             return False
         assert codec is not None
+        t0 = obs.now() if obs is not None else 0.0
         got = False
+        n_slabs = 0
         vec_slabs: list[tuple[int, int, int, Any]] = []
         touched = []
         for r_in in rings_in.values():
@@ -207,6 +224,7 @@ def _run_rank(
                 continue
             got = True
             touched.append(r_in)
+            n_slabs += len(slabs)
             for kind, n, sender_rank, payload in slabs:
                 if applier is not None and kind in _VEC_KINDS:
                     vec_slabs.append((kind, n, sender_rank, payload))
@@ -221,16 +239,25 @@ def _run_rank(
             applier.drain(vec_slabs, loop)
         for r_in in touched:
             r_in.commit()
+        if got and obs is not None:
+            obs.inc("slabs_decoded", n_slabs)
+            obs.span("drain", t0, "drain", {"slabs": n_slabs})
         return got
 
+    doorbells_seen = 0
+
     def drain(block: bool) -> bool:
-        nonlocal stopping
+        nonlocal stopping, doorbells_seen
         got = drain_rings()
-        ready = (
-            conn_wait(conns, wire.poll_timeout)
-            if block and conns and not got
-            else [c for c in conns if c.poll()]
-        )
+        if block and conns and not got:
+            if obs is not None:
+                t_wait = obs.now()
+                ready = conn_wait(conns, wire.poll_timeout)
+                obs.span("wait", t_wait, "wait")
+            else:
+                ready = conn_wait(conns, wire.poll_timeout)
+        else:
+            ready = [c for c in conns if c.poll()]
         rang = False
         for conn in ready:
             while conn.poll():
@@ -257,6 +284,12 @@ def _run_rank(
                 else:
                     raise ValueError(f"unknown wire frame {frame!r}")
         if rang:
+            if obs is not None:
+                # Doorbell boundaries are where the occupancy picture
+                # just changed — the designated ring-sampling instants.
+                doorbells_seen += 1
+                if doorbells_seen % obs.config.ring_sample_every == 0:
+                    obs.sample_rings(rings_in, loop)
             # The doorbell only says "ring went nonempty"; the slabs
             # themselves are picked up here.
             got = drain_rings() or got
@@ -267,13 +300,21 @@ def _run_rank(
         if isinstance(loop, ShmLoop):
             loop.pump()  # retry any backpressured slabs
         progressed = drain(block=False)
+        t_disp = obs.now() if obs is not None else 0.0
+        dispatched = 0
         for _ in range(wire.dispatch_slice):
             msg = loop.pop_message()
             if msg is None:
                 break
             engine.on_message(loop, rank, msg)
+            dispatched += 1
+        if dispatched:
             progressed = True
+            if obs is not None:
+                obs.span("dispatch", t_disp, "compute", {"messages": dispatched})
         if stream_live and loop.inbox_len == 0:
+            t_ing = obs.now() if obs is not None else 0.0
+            pulled = 0
             if vec_stream is not None:
                 assert applier is not None
                 s_col, d_col, w_col = vec_stream.pull_chunk(wire.ingest_chunk)
@@ -282,13 +323,17 @@ def _run_rank(
                 else:
                     applier.ingest(s_col, d_col, w_col, loop)
                     engine.counters[rank].source_events += int(s_col.size)
+                    pulled = int(s_col.size)
                     progressed = True
             else:
                 for _ in range(wire.pull_slice):
                     if not engine.pull_source(loop, rank):
                         stream_live = False
                         break
+                    pulled += 1
                     progressed = True
+            if pulled and obs is not None:
+                obs.span("ingest", t_ing, "ingest", {"events": pulled})
         if progressed:
             continue
         # Locally quiescent this turn: entrust everything buffered to
@@ -302,6 +347,12 @@ def _run_rank(
             if payload is not None:
                 token_outstanding = False
                 _, sent_sum, recv_sum, all_idle = payload
+                if obs is not None:
+                    obs.inc("token_rounds")
+                    obs.instant(
+                        "token_round",
+                        args={"sent": sent_sum, "received": recv_sum},
+                    )
                 if coordinator.round_complete(sent_sum, recv_sum, all_idle):
                     for other in peer_conns:
                         sender.put(other, (FRAME_STOP,))
@@ -321,6 +372,8 @@ def _run_rank(
         else:
             payload = ring.take_if_idle(loop.wire_sent, loop.wire_received, idle)
             if payload is not None:
+                if obs is not None:
+                    obs.inc("token_forwards")
                 sender.put(ring.next_rank, (FRAME_TOKEN,) + payload)
         if idle:
             drain(block=True)
@@ -336,6 +389,7 @@ def _run_rank(
             f"outbuf={loop.outbuffered} stream_live={stream_live}"
         )
     sender.close()
+    t_harvest = obs.now() if obs is not None else 0.0
 
     # Drain-side squashes are this rank's visitor-queue combines; fold
     # them into the same counter the DES books sender-observed squashes
@@ -345,6 +399,13 @@ def _run_rank(
     for c in engine.counters[1:]:
         counters = counters.merge(c)
     wire_stats = loop.wire_stats()
+    if rings_in:
+        # Consumer-side ring health: the producer counters live on the
+        # *peer's* ring object; only torn-write retries are observed on
+        # this side of each inbound ring.
+        wire_stats["ring_torn_retries"] = sum(
+            r.torn_retries for r in rings_in.values()
+        )
     if applier is not None:
         wire_stats.update(applier.stats)
         num_edges = applier.num_edges
@@ -366,6 +427,9 @@ def _run_rank(
     }
     if coordinator is not None:
         result["token_rounds"] = coordinator.rounds_completed
+    if obs is not None:
+        obs.span("harvest", t_harvest, "ctrl")
+        result["obs"] = harvest_payload(obs, wire_stats)
     for r_ring in (*rings_in.values(), *rings_out.values()):
         r_ring.close()  # drop mappings; the parent unlinks the segments
     return result

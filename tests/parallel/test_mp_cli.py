@@ -36,14 +36,14 @@ class TestParser:
 
 
 class TestDesOnlyFlagsRejected:
-    """mp has no virtual time: telemetry/fault/snapshot flags exit 2
-    before any process is spawned."""
+    """mp has no virtual time: fault/snapshot/freshness flags exit 2
+    before any process is spawned.  (``--trace``/``--metrics`` are no
+    longer DES-only: on mp they switch to the wall-clock distributed
+    capture — see TestMpObsCapture.)"""
 
     @pytest.mark.parametrize(
         "flags",
         [
-            ["--trace", "t.json"],
-            ["--metrics", "m.jsonl"],
             ["--faults", "drop=0.1"],
             ["--snapshot-at", "0.5"],
             ["--sample-interval", "0.1"],
@@ -107,3 +107,61 @@ class TestMpRun:
                 "--scale", "6", "--edge-factor", "4", "--verify", "--json",
             )
             assert doc["verify"]["mismatches"] == 0
+
+
+class TestMpObsCapture:
+    """``--trace``/``--metrics`` on the mp backend: the merged
+    multi-rank capture the obs-smoke CI job consumes."""
+
+    @pytest.fixture(scope="class")
+    def capture(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("mp-obs")
+        trace = out / "trace.json"
+        metrics = out / "metrics.jsonl"
+        doc = run_cli_json(
+            "run", "--backend", "mp", "--ranks", "2", "--algo", "cc",
+            "--scale", "6", "--edge-factor", "4",
+            "--trace", str(trace), "--metrics", str(metrics),
+            "--trace-per-rank", "--json",
+        )
+        return doc, trace, metrics
+
+    def test_merged_trace_validates_with_one_pid_per_rank(self, capture):
+        from repro.obs import validate_chrome_trace
+
+        doc, trace, _ = capture
+        counts = validate_chrome_trace(str(trace))
+        assert counts["M"] >= 2 and counts["X"] > 0, counts
+        loaded = json.loads(trace.read_text())
+        pids = {e["pid"] for e in loaded["traceEvents"] if e["ph"] == "X"}
+        assert pids == {0, 1}
+        assert doc["trace_file"] == str(trace)
+
+    def test_per_rank_captures_written_and_valid(self, capture):
+        from repro.obs import validate_chrome_trace
+
+        _, trace, _ = capture
+        for rank in range(2):
+            per_rank = trace.with_name(f"trace.rank{rank}.json")
+            assert per_rank.exists()
+            validate_chrome_trace(str(per_rank))
+
+    def test_metrics_carry_rank_rows_and_counters(self, capture):
+        from repro.obs import read_jsonl
+
+        doc, _, metrics = capture
+        rows = read_jsonl(str(metrics))
+        ranks = sorted(
+            r["rank"] for r in rows if r.get("kind") == "rank"
+        )
+        assert ranks == [0, 1]
+        counters = next(r for r in rows if r.get("kind") == "counters")
+        assert counters["wire_sent"] == counters["wire_received"]
+
+    def test_obs_summary_in_report_doc(self, capture):
+        doc, _, _ = capture
+        obs = doc["report"]["obs"]
+        assert obs["ranks"] == [0, 1]
+        assert obs["trace_events"] > 0
+        assert obs["busy_skew"] >= 1.0
+        assert set(obs["counters"]) >= {"wire_sent", "wire_received"}

@@ -183,6 +183,63 @@ class TestTornWriteDetection:
             ring.try_push(K_ADD, i, bytes([i]) * i, sender=i % 2)
             assert drain(ring) == [(K_ADD, i, i % 2, bytes([i]) * i)]
 
+    def test_torn_retries_counted_on_corruption(self, make_ring):
+        from repro.parallel.shm import _TORN_REREADS
+
+        ring = make_ring(256)
+        ring.try_push(K_ADD, 1, b"ok", sender=0)
+        ring.try_push(K_UPDATE, 1, b"torn", sender=0)
+        self._corrupt(ring, offset=64, field="seq", value=12345)
+        with pytest.raises(RingCorruption, match="torn or misframed"):
+            ring.pop_slabs()
+        # The consumer re-read the header the bounded number of times
+        # before giving up, and the counter recorded every retry.
+        assert ring.torn_retries == _TORN_REREADS
+        assert ring.health()["torn_retries"] == _TORN_REREADS
+
+
+class TestHealthCounters:
+    """The ring-level health surface the mp telemetry harvests."""
+
+    def test_pad_bytes_counted_on_wraparound(self, make_ring):
+        ring = make_ring(128)
+        for _ in range(3):
+            assert ring.try_push(K_ADD, 0, b"", sender=0)
+        drain(ring)
+        assert ring.pad_slabs == 0 and ring.pad_bytes == 0
+        assert ring.try_push(K_UPDATE, 1, b"12345678", sender=1)
+        assert ring.pad_slabs == 1
+        assert ring.pad_bytes == 32  # the burned region-end remainder
+        drain(ring)
+
+    def test_health_snapshot_keys_and_values(self, make_ring):
+        ring = make_ring(128)
+        for i in range(4):
+            assert ring.try_push(K_ADD, i, b"", sender=0)
+        assert not ring.try_push(K_ADD, 9, b"", sender=0)
+        health = ring.health()
+        assert health == {
+            "pushes": 4,
+            "push_stalls": 1,
+            "hwm_bytes": 128,
+            "pad_slabs": 0,
+            "pad_bytes": 0,
+            "torn_retries": 0,
+            "used": 128,
+            "capacity": 128,
+        }
+
+    def test_clean_traffic_reports_zero_anomalies(self, make_ring):
+        ring = make_ring(512)
+        for i in range(20):
+            assert ring.try_push(K_ADD, i, bytes([i % 256]) * i, sender=0)
+            drain(ring)  # keep the ring empty: no stalls, no anomalies
+        health = ring.health()
+        assert health["push_stalls"] == 0
+        assert health["torn_retries"] == 0
+        assert health["used"] == 0
+        assert health["pushes"] == 20  # PAD framing is not a push
+
 
 def test_layout_constants_are_consistent():
     assert HEADER_BYTES >= 128  # tail and head on separate cache lines
