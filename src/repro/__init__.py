@@ -35,6 +35,8 @@ from repro.algorithms import (
     GenerationalBFS,
     GenerationalCC,
     GenerationalSSSP,
+    GenerationalST,
+    GenerationalWidest,
     IncrementalBFS,
     IncrementalCC,
     IncrementalSSSP,
@@ -73,6 +75,7 @@ from repro.runtime import (
     DynamicEngine,
     EngineConfig,
     ReferenceEngine,
+    UnsupportedCollectionError,
     VertexContext,
     VertexProgram,
 )
@@ -95,6 +98,8 @@ __all__ = [
     "GenerationalBFS",
     "GenerationalCC",
     "GenerationalSSSP",
+    "GenerationalST",
+    "GenerationalWidest",
     "IncrementalBFS",
     "IncrementalCC",
     "IncrementalSSSP",
@@ -125,6 +130,7 @@ __all__ = [
     "CollectionResult",
     "DynamicEngine",
     "EngineConfig",
+    "UnsupportedCollectionError",
     "ReferenceEngine",
     "VertexContext",
     "VertexProgram",

@@ -26,6 +26,8 @@ from repro.algorithms.generations import (
     GenerationalBFS,
     GenerationalCC,
     GenerationalSSSP,
+    GenerationalST,
+    GenerationalWidest,
 )
 from repro.algorithms.sssp import IncrementalSSSP
 from repro.algorithms.st_conn import MultiSTConnectivity
@@ -43,4 +45,6 @@ __all__ = [
     "GenerationalBFS",
     "GenerationalCC",
     "GenerationalSSSP",
+    "GenerationalST",
+    "GenerationalWidest",
 ]

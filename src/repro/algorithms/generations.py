@@ -31,6 +31,16 @@ working.  This module implements that outline concretely:
   own hash) and re-runs max-label propagation within it — the paper's
   "worst case ... rewriting of data at this magnitude" made explicit,
   and still fully asynchronous and concurrent with ongoing adds.
+* :class:`GenerationalST` — multi S-T reachability bitmaps are unions,
+  so, like labels, they cannot shrink in place: a delete reseeds the
+  component and every member resets its bitmap to the bits it holds *by
+  right* (the bits of the sources registered at that very vertex), then
+  Alg.-7 union propagation reruns within the generation.
+* :class:`GenerationalWidest` — bottleneck capacities are max-min
+  distances, so the epoch-restart protocol applies unchanged with the
+  relaxation flipped (``min(cap, weight)`` offers, ``max`` adoption);
+  the supporting last hop is tracked as the parent exactly as in the
+  distance programs.
 
 Value encodings (engine default 0 = never touched):
 
@@ -38,15 +48,23 @@ Value encodings (engine default 0 = never touched):
   ``(counter, initiator_vertex)`` tuple (initially ``(0, 0)``); the
   source has parent ``SELF``; INF distance = unreached.
 * CC: ``(generation, label)``.
+* S-T: ``(generation, mask)``.
+* widest: ``(epoch, capacity, parent)``; capacity 0 = unreached, the
+  source holds ``CAP_INF``.
 
-Update payloads are tagged tuples: ``("U", epoch, dist)`` relaxation,
-``("R", epoch_or_gen)`` restart/reseed flood, ``("L", gen, label)``
-label merge.  REVERSE_ADD hands the raw neighbour state to the
-callback, which normalises it.
+Update payloads are tagged tuples: ``("U", epoch, dist_or_cap)``
+relaxation, ``("R", epoch_or_gen)`` restart/reseed flood,
+``("L", gen, label)`` label merge, ``("M", gen, mask)`` mask merge.
+REVERSE_ADD hands the raw neighbour state to the callback, which
+normalises it.
 
 These programs do not support *versioned* snapshot collection (deletes
 plus version splitting compose poorly; the paper does not attempt it
-either) — use quiescence collection.
+either) — use quiescence collection.  They declare it machine-readably
+via ``supports_versioned_collection = False``, which makes
+``DynamicEngine.request_collection`` raise
+:class:`~repro.runtime.engine.UnsupportedCollectionError` instead of
+harvesting a silently wrong cut.
 """
 
 from __future__ import annotations
@@ -55,6 +73,7 @@ from typing import Any
 
 from repro.algorithms.base import INF
 from repro.algorithms.cc import component_label
+from repro.algorithms.widest_path import CAP_INF
 from repro.runtime.program import VertexContext, VertexProgram
 
 SELF = -2  # parent sentinel: this vertex is the query source
@@ -70,6 +89,7 @@ class _GenerationalDistance(VertexProgram):
     """
 
     snapshot_mode = "replay"
+    supports_versioned_collection = False
 
     def hop_cost(self, weight: int) -> int:
         raise NotImplementedError
@@ -244,6 +264,7 @@ class GenerationalCC(VertexProgram):
 
     name = "gen-cc"
     snapshot_mode = "replay"
+    supports_versioned_collection = False
 
     @staticmethod
     def _ensure(ctx: VertexContext) -> tuple[int, int]:
@@ -339,3 +360,315 @@ class GenerationalCC(VertexProgram):
             return "unseen"
         gen, label = value
         return f"g{gen}:comp:{label:016x}"
+
+
+class GenerationalST(VertexProgram):
+    """Multi S-T connectivity with edge-delete support.
+
+    Reachability bitmaps only ever grow under Alg. 7, so a delete that
+    disconnects a source cannot be repaired in place.  Like
+    :class:`GenerationalCC`, any delete reseeds the affected component
+    into a new generation; the reset value is not 0 but the vertex's
+    *intrinsic* bits — the bits of sources registered at that very
+    vertex — so source vertices re-assert themselves and union
+    propagation reruns within the generation.  State: ``(gen, mask)``.
+
+    Source registration mirrors
+    :class:`~repro.algorithms.st_conn.MultiSTConnectivity`:
+    ``register_source`` assigns the bit, the returned index is the
+    ``init()`` payload.
+    """
+
+    name = "gen-st"
+    snapshot_mode = "replay"
+    supports_versioned_collection = False
+
+    def __init__(self) -> None:
+        # Configuration (read-only during execution): source -> bit index.
+        self.source_bits: dict[int, int] = {}
+
+    # -- source registry (configuration, not per-vertex state) ----------
+    def register_source(self, vertex: int) -> int:
+        """Assign (or return) the bit index for a source vertex; the
+        returned value is the ``init()`` payload."""
+        if vertex not in self.source_bits:
+            self.source_bits[vertex] = len(self.source_bits)
+        return self.source_bits[vertex]
+
+    def bit_of(self, source_vertex: int) -> int:
+        return self.source_bits[source_vertex]
+
+    def is_connected(self, value: Any, source_vertex: int) -> bool:
+        """Does a stored value indicate connectivity to ``source_vertex``?"""
+        return bool(self.mask_of(value) >> self.source_bits[source_vertex] & 1)
+
+    @staticmethod
+    def mask_of(value: Any) -> int:
+        """Project a stored value to its plain reachability bitmap."""
+        return 0 if value == 0 else value[1]
+
+    def _own_bits(self, vertex: int) -> int:
+        """The bits this vertex holds intrinsically (its own sources)."""
+        mask = 0
+        for source, bit in self.source_bits.items():
+            if source == vertex:
+                mask |= 1 << bit
+        return mask
+
+    def _ensure(self, ctx: VertexContext) -> tuple[int, int]:
+        value = ctx.value
+        if value == 0:
+            value = (0, self._own_bits(ctx.vertex))
+            ctx.set_value(value)
+        return value
+
+    # -- callbacks --------------------------------------------------------
+    def on_init(self, ctx: VertexContext, payload: Any) -> None:
+        gen, mask = self._ensure(ctx)
+        new_mask = mask | (1 << int(payload))
+        ctx.set_value((gen, new_mask))
+        ctx.update_nbrs(("M", gen, new_mask))
+
+    def on_add(self, ctx: VertexContext, vis_id: int, vis_val: Any, weight: int) -> None:
+        self._ensure(ctx)
+
+    def on_reverse_add(
+        self, ctx: VertexContext, vis_id: int, vis_val: Any, weight: int
+    ) -> None:
+        self._ensure(ctx)
+        if vis_val == 0:
+            gen_n, mask_n = 0, 0
+        else:
+            gen_n, mask_n = vis_val
+        self._merge_mask(ctx, vis_id, gen_n, mask_n, weight)
+
+    def on_update(self, ctx: VertexContext, vis_id: int, vis_val: Any, weight: int) -> None:
+        self._ensure(ctx)
+        if not ctx.has_edge(vis_id):
+            # Event over a since-deleted edge: a mask crossing it would
+            # leak reachability across the split.
+            return
+        kind = vis_val[0]
+        if kind == "R":
+            _, gen_n = vis_val
+            self._on_reseed(ctx, vis_id, gen_n, weight)
+        elif kind == "M":
+            _, gen_n, mask_n = vis_val
+            self._merge_mask(ctx, vis_id, gen_n, mask_n, weight)
+        else:  # pragma: no cover - corrupted payload
+            raise ValueError(f"unknown generational payload {vis_val!r}")
+
+    def on_delete(self, ctx: VertexContext, vis_id: int, weight: int) -> None:
+        self._reseed_component(ctx)
+
+    def on_reverse_delete(
+        self, ctx: VertexContext, vis_id: int, vis_val: Any, weight: int
+    ) -> None:
+        self._reseed_component(ctx)
+
+    # -- core logic --------------------------------------------------------
+    def _reseed_component(self, ctx: VertexContext) -> None:
+        value = ctx.value
+        if value == 0:
+            return
+        gen, _mask = value
+        new_gen = gen + 1
+        ctx.set_value((new_gen, self._own_bits(ctx.vertex)))
+        ctx.update_nbrs(("R", new_gen))
+
+    def _on_reseed(self, ctx: VertexContext, nbr: int, gen_n: int, weight: int) -> None:
+        gen, mask = ctx.value
+        if gen_n > gen:
+            # Join the new generation: reset to our intrinsic bits and
+            # flood the wave onward.
+            gen, mask = gen_n, self._own_bits(ctx.vertex)
+            ctx.set_value((gen, mask))
+            ctx.update_nbrs(("R", gen_n))
+            ctx.update_single_nbr(nbr, ("M", gen, mask), weight)
+        elif gen_n == gen:
+            ctx.update_single_nbr(nbr, ("M", gen, mask), weight)
+        else:
+            # The sender's wave is stale: pull it up to our generation.
+            ctx.update_single_nbr(nbr, ("R", gen), weight)
+
+    def _merge_mask(
+        self, ctx: VertexContext, nbr: int, gen_n: int, mask_n: int, weight: int
+    ) -> None:
+        gen, mask = ctx.value
+        if gen_n > gen:
+            # Implicit reseed (the mask raced ahead of the R-flood).
+            gen, mask = gen_n, self._own_bits(ctx.vertex)
+            ctx.set_value((gen, mask))
+            ctx.update_nbrs(("R", gen_n))
+        elif gen_n < gen:
+            # They are stale; bring them into our generation.
+            ctx.update_single_nbr(nbr, ("R", gen), weight)
+            return
+        union = mask | mask_n
+        if union != mask:
+            ctx.set_value((gen, union))
+            ctx.update_nbrs(("M", gen, union))
+        elif mask != mask_n:
+            # Pure superset: notify back (Alg. 7's four-way comparison).
+            ctx.update_single_nbr(nbr, ("M", gen, mask), weight)
+
+    def format_value(self, value: Any) -> str:
+        if value == 0:
+            return "unseen"
+        gen, mask = value
+        sources = [s for s, b in self.source_bits.items() if mask >> b & 1]
+        return f"g{gen}:sources:{{{','.join(map(str, sources))}}}"
+
+
+class GenerationalWidest(VertexProgram):
+    """Widest (bottleneck) path with edge-delete support.
+
+    The epoch-restart protocol of the distance programs applies with
+    the semiring flipped: capacities relax as ``min(cap, weight)`` and
+    adopt by ``max``, the supporting last hop is the parent, and a
+    delete of the parent edge starts a fresh epoch flood that resets
+    the component (source back to ``CAP_INF``, everyone else to 0)
+    before max-min relaxation reruns within the epoch.  Termination
+    follows from the same two-level argument: epoch adoption is
+    monotone in a finite epoch set, and convergence inside an epoch is
+    plain REMO monotone convergence.  State: ``(epoch, cap, parent)``.
+    """
+
+    name = "gen-widest"
+    snapshot_mode = "replay"
+    supports_versioned_collection = False
+
+    # -- helpers ---------------------------------------------------------
+    @staticmethod
+    def _ensure(ctx: VertexContext) -> tuple[tuple[int, int], int, int]:
+        value = ctx.value
+        if value == 0:
+            value = (EPOCH0, 0, NO_PARENT)
+            ctx.set_value(value)
+        return value
+
+    @staticmethod
+    def _as_update(vis_val: Any) -> tuple[tuple[int, int], int]:
+        """Normalise a REVERSE_ADD raw neighbour value to (epoch, cap)."""
+        if vis_val == 0:
+            return (EPOCH0, 0)
+        epoch, cap, _parent = vis_val
+        return (epoch, cap)
+
+    def _adopt_epoch(self, ctx: VertexContext, epoch: tuple[int, int]) -> None:
+        """Enter a strictly newer epoch: reset and flood it onward."""
+        _e, _cap, parent = ctx.value
+        if parent == SELF:
+            ctx.set_value((epoch, CAP_INF, SELF))
+            ctx.update_nbrs(("R", epoch))
+            ctx.update_nbrs(("U", epoch, CAP_INF))
+        else:
+            ctx.set_value((epoch, 0, NO_PARENT))
+            ctx.update_nbrs(("R", epoch))
+
+    def _restart(self, ctx: VertexContext) -> None:
+        """Begin a fresh epoch at this vertex (support-breaking delete)."""
+        (counter, _init), _cap, _parent = ctx.value
+        self._adopt_epoch(ctx, (counter + 1, ctx.vertex))
+
+    # -- callbacks --------------------------------------------------------
+    def on_init(self, ctx: VertexContext, payload: Any) -> None:
+        epoch, _cap, _parent = self._ensure(ctx)
+        ctx.set_value((epoch, CAP_INF, SELF))
+        ctx.update_nbrs(("U", epoch, CAP_INF))
+
+    def on_add(self, ctx: VertexContext, vis_id: int, vis_val: Any, weight: int) -> None:
+        self._ensure(ctx)
+
+    def on_reverse_add(
+        self, ctx: VertexContext, vis_id: int, vis_val: Any, weight: int
+    ) -> None:
+        self._ensure(ctx)
+        epoch_n, cap_n = self._as_update(vis_val)
+        self._on_value(ctx, vis_id, epoch_n, cap_n, weight)
+
+    def on_update(self, ctx: VertexContext, vis_id: int, vis_val: Any, weight: int) -> None:
+        self._ensure(ctx)
+        if not ctx.has_edge(vis_id):
+            # In-flight event over an edge deleted in the meantime:
+            # using it would smuggle capacity through a path that no
+            # longer exists.
+            return
+        kind = vis_val[0]
+        if kind == "U":
+            _, epoch_n, cap_n = vis_val
+            self._on_value(ctx, vis_id, epoch_n, cap_n, weight)
+        elif kind == "R":
+            _, epoch_n = vis_val
+            self._on_restart_flood(ctx, vis_id, epoch_n, weight)
+        else:  # pragma: no cover - corrupted payload
+            raise ValueError(f"unknown generational payload {vis_val!r}")
+
+    def on_delete(self, ctx: VertexContext, vis_id: int, weight: int) -> None:
+        self._handle_edge_removal(ctx, vis_id)
+
+    def on_reverse_delete(
+        self, ctx: VertexContext, vis_id: int, vis_val: Any, weight: int
+    ) -> None:
+        self._handle_edge_removal(ctx, vis_id)
+
+    # -- core logic --------------------------------------------------------
+    def _on_value(
+        self,
+        ctx: VertexContext,
+        nbr: int,
+        epoch_n: tuple[int, int],
+        cap_n: int,
+        weight: int,
+    ) -> None:
+        epoch, _cap, _parent = ctx.value
+        if epoch_n < epoch:
+            # Stale sender: pull it up into our epoch.
+            ctx.update_single_nbr(nbr, ("R", epoch), weight)
+            return
+        if epoch_n > epoch:
+            self._adopt_epoch(ctx, epoch_n)
+        self._relax(ctx, nbr, cap_n, weight)
+
+    def _on_restart_flood(
+        self, ctx: VertexContext, nbr: int, epoch_n: tuple[int, int], weight: int
+    ) -> None:
+        epoch, cap, _parent = ctx.value
+        if epoch_n < epoch:
+            ctx.update_single_nbr(nbr, ("R", epoch), weight)
+            return
+        if epoch_n > epoch:
+            self._adopt_epoch(ctx, epoch_n)
+            return
+        # Same epoch: the sender just reset; offer our capacity if we
+        # have one (it may have missed our earlier broadcast).
+        if cap > 0:
+            ctx.update_single_nbr(nbr, ("U", epoch, cap), weight)
+
+    def _relax(self, ctx: VertexContext, nbr: int, cap_n: int, weight: int) -> None:
+        epoch, cap, parent = ctx.value
+        candidate = min(cap_n, weight)
+        if candidate > cap:
+            ctx.set_value((epoch, candidate, nbr))
+            ctx.update_nbrs(("U", epoch, candidate))
+        elif cap > 0 and min(cap, weight) > cap_n:
+            # We are the wider side: notify back the visitor.
+            ctx.update_single_nbr(nbr, ("U", epoch, cap), weight)
+
+    def _handle_edge_removal(self, ctx: VertexContext, nbr: int) -> None:
+        value = ctx.value
+        if value == 0:
+            return
+        _epoch, _cap, parent = value
+        if parent == nbr:
+            # The deleted edge supported our capacity: restart the
+            # component in a fresh epoch.
+            self._restart(ctx)
+
+    def format_value(self, value: Any) -> str:
+        if value == 0:
+            return "unseen"
+        (counter, initiator), cap, _ = value
+        if cap >= CAP_INF:
+            return f"e{counter}.{initiator}:source"
+        return f"e{counter}.{initiator}:{'unreached' if cap == 0 else cap}"

@@ -141,16 +141,20 @@ def verify_st(
     engine,
     prog: int | str,
     sources: list[int],
+    value_of: Callable[[Any], int] | None = None,
     state: dict[int, Any] | None = None,
 ) -> list[str]:
     """Check a quiesced Multi S-T program against per-source BFS masks.
 
     ``sources`` must be in *bit order* (the order they were registered
-    with :meth:`MultiSTConnectivity.register_source`).
+    with :meth:`MultiSTConnectivity.register_source`).  ``value_of``
+    extracts a plain bitmap from a stored value (the generational
+    program stores ``(gen, mask)``).
     """
     graph = csr_from_engine(engine)
     expect, _ = static_st_connectivity(graph, sources)
     raw = engine.state(prog) if state is None else state
+    raw = _extract(raw, value_of)
     # Source vertices trivially reach themselves; the dynamic side only
     # materialises that once the init() was processed, which quiescence
     # guarantees.  Masks of 0 mean "reaches no source".
@@ -168,16 +172,20 @@ def verify_widest(
     engine,
     prog: int | str,
     source: int,
+    value_of: Callable[[Any], int] | None = None,
     state: dict[int, Any] | None = None,
 ) -> list[str]:
     """Check a quiesced Widest Path program against the static max-min
     Dijkstra oracle on the final topology.  0 = unreached (capacities
-    are >= 1, the source holds CAP_INF)."""
+    are >= 1, the source holds CAP_INF).  ``value_of`` extracts a plain
+    capacity from a stored value (the generational program stores
+    ``(epoch, cap, parent)``)."""
     from repro.algorithms.widest_path import static_widest_path
 
     graph = csr_from_engine(engine)
     expect = static_widest_path(graph, source)
     raw = engine.state(prog) if state is None else state
+    raw = _extract(raw, value_of)
     return _compare(raw, expect, lambda v: v == 0)
 
 

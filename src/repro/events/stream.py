@@ -140,7 +140,17 @@ class ArrayEventStream(EventStream):
     def pull_chunk(
         self, max_events: int
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Zero-copy chunk pull: slice views over the backing columns."""
+        """Zero-copy chunk pull: slice views over the backing columns.
+
+        Only valid on :attr:`add_only` streams — the returned columns
+        carry no event kinds, so slicing a delete-carrying stream here
+        would silently reinterpret its DELETEs as ADDs.
+        """
+        if not self._add_only:
+            raise ValueError(
+                "pull_chunk on a stream with non-ADD events; "
+                "delete-carrying streams must be pulled per-event"
+            )
         i = self._cursor
         j = min(i + max_events, self._n)
         self._cursor = j

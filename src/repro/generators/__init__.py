@@ -9,6 +9,11 @@ generator used for the scaling studies (Figs. 4 and 6).
 """
 
 from repro.generators.ba import barabasi_albert_edges
+from repro.generators.churn import (
+    churn_events,
+    flash_crowd_events,
+    split_churn_streams,
+)
 from repro.generators.er import erdos_renyi_edges
 from repro.generators.presets import (
     DATASET_PRESETS,
@@ -20,7 +25,10 @@ from repro.generators.weights import uniform_weights
 
 __all__ = [
     "barabasi_albert_edges",
+    "churn_events",
     "erdos_renyi_edges",
+    "flash_crowd_events",
+    "split_churn_streams",
     "DATASET_PRESETS",
     "DatasetPreset",
     "generate_preset",

@@ -1,0 +1,187 @@
+"""Churn workload generator: interleaved add+delete event streams.
+
+The §VI-B delete extension needs workloads where edges both arrive and
+retire.  Two scenarios:
+
+* :func:`churn_events` — steady-state churn: an ER add stream with a
+  configurable delete:insert ratio, every delete naming an edge added
+  *earlier in the event order* (deletes are sampled per-victim at a
+  uniformly random position after the victim's add).
+* :func:`flash_crowd_events` — flash-crowd-then-decay: a baseline ER
+  phase, then a burst of adds concentrated on one hub vertex, then a
+  decay phase deleting a fraction of the crowd edges (the on-line
+  analytics story: a hot entity spikes and fades).
+
+**Stream confinement.**  Cross-stream event order is undefined (streams
+are concurrent, §V-A), so a delete split into a different stream than
+its add races it — the final topology becomes interleaving-dependent
+and no two backends need agree.  :func:`split_churn_streams` therefore
+deals events by a hash of the *canonical edge* (unordered endpoint
+pair): every event touching one edge lands in one stream, in generation
+order, and the final topology is well-defined on every backend.  This
+is also why the split must never re-shuffle (``split_streams``'s
+``rng`` pre-randomisation would reorder deletes before their adds).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.events.stream import ArrayEventStream
+from repro.events.types import ADD, DELETE
+from repro.generators.er import erdos_renyi_edges
+from repro.util.validate import check_positive
+
+_PAIR_MIX = np.int64(0x9E3779B97F4A7C15 & 0x7FFFFFFFFFFFFFFF)
+
+
+def _pair_weights(
+    src: np.ndarray, dst: np.ndarray, weight_high: int
+) -> np.ndarray:
+    """Per-edge weights as a deterministic function of the *canonical
+    pair* in ``[1, weight_high)``.
+
+    ER sampling produces duplicate pairs; a re-add carrying a different
+    weight than the stored edge is a non-monotone attribute change
+    (worsening weights are outside the engine's re-add contract, and a
+    weight *drop* would silently strand values computed at the old
+    weight on a delete).  Hashing the pair makes every occurrence of an
+    edge — including a re-add after its delete — carry the same weight.
+    """
+    if weight_high < 2:
+        raise ValueError(f"weight_high must be >= 2, got {weight_high}")
+    lo = np.minimum(src, dst).astype(np.uint64)
+    hi = np.maximum(src, dst).astype(np.uint64)
+    mix = (lo * np.uint64(0x9E3779B97F4A7C15) + hi * np.uint64(0xC2B2AE3D27D4EB4F))
+    mix ^= mix >> np.uint64(29)
+    return (np.uint64(1) + mix % np.uint64(weight_high - 1)).astype(np.int64)
+
+
+def _interleave_deletes(
+    n_adds: int, victims: np.ndarray, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge ``n_adds`` adds with one delete per victim add index.
+
+    Returns ``(event_index, is_delete)`` in event order: adds keep their
+    relative order, and each victim's delete lands at a uniform position
+    strictly after its add.  ``event_index`` points into the add arrays
+    for both kinds (a delete names its victim's edge).
+    """
+    add_keys = np.arange(n_adds, dtype=np.float64)
+    # Key in [victim_index, n_adds): on a key tie the stable sort keeps
+    # the add (first segment) ahead of the delete, so order is safe even
+    # at the degenerate key == victim_index draw.
+    del_keys = victims + rng.uniform(size=victims.size) * (n_adds - victims)
+    keys = np.concatenate([add_keys, del_keys])
+    idx = np.concatenate([np.arange(n_adds, dtype=np.int64), victims])
+    is_del = np.zeros(keys.size, dtype=bool)
+    is_del[n_adds:] = True
+    order = np.argsort(keys, kind="stable")
+    return idx[order], is_del[order]
+
+
+def churn_events(
+    n_vertices: int,
+    n_adds: int,
+    delete_ratio: float = 0.2,
+    rng: np.random.Generator | None = None,
+    weight_high: int = 16,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Steady-state churn columns ``(src, dst, weights, kinds)``.
+
+    ``delete_ratio`` is the fraction of *total events* that are deletes
+    (0.2 → one delete per four adds); victims are sampled without
+    replacement from the adds, and each delete is interleaved uniformly
+    after its victim's add.
+    """
+    check_positive("n_vertices", n_vertices)
+    check_positive("n_adds", n_adds)
+    if not 0.0 <= delete_ratio < 1.0:
+        raise ValueError(f"delete_ratio must be in [0, 1), got {delete_ratio}")
+    if rng is None:
+        rng = np.random.default_rng()
+    src, dst = erdos_renyi_edges(n_vertices, n_adds, rng)
+    weights = _pair_weights(src, dst, weight_high)
+    n_dels = min(n_adds, round(delete_ratio * n_adds / (1.0 - delete_ratio)))
+    victims = np.sort(
+        rng.choice(n_adds, size=n_dels, replace=False).astype(np.int64)
+    )
+    idx, is_del = _interleave_deletes(n_adds, victims, rng)
+    kinds = np.where(is_del, DELETE, ADD).astype(np.int64)
+    return src[idx], dst[idx], weights[idx], kinds
+
+
+def flash_crowd_events(
+    n_vertices: int,
+    n_base: int,
+    crowd_size: int,
+    decay_ratio: float = 0.6,
+    rng: np.random.Generator | None = None,
+    hub: int = 0,
+    weight_high: int = 16,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Flash-crowd-then-decay columns ``(src, dst, weights, kinds)``.
+
+    Phase 1: ``n_base`` baseline ER adds.  Phase 2: ``crowd_size`` adds
+    all incident to ``hub``.  Phase 3: a ``decay_ratio`` fraction of the
+    crowd edges deletes, in random order.  Phases are concatenated, so
+    every delete trivially follows its add.
+    """
+    check_positive("n_vertices", n_vertices)
+    check_positive("n_base", n_base)
+    check_positive("crowd_size", crowd_size)
+    if not 0.0 <= decay_ratio <= 1.0:
+        raise ValueError(f"decay_ratio must be in [0, 1], got {decay_ratio}")
+    if rng is None:
+        rng = np.random.default_rng()
+    b_src, b_dst = erdos_renyi_edges(n_vertices, n_base, rng)
+    c_dst = rng.integers(0, n_vertices, size=crowd_size, dtype=np.int64)
+    c_dst[c_dst == hub] = (hub + 1) % n_vertices
+    c_src = np.full(crowd_size, hub, dtype=np.int64)
+    n_decay = round(decay_ratio * crowd_size)
+    decay = rng.choice(crowd_size, size=n_decay, replace=False).astype(np.int64)
+    src = np.concatenate([b_src, c_src, c_src[decay]])
+    dst = np.concatenate([b_dst, c_dst, c_dst[decay]])
+    weights = _pair_weights(src, dst, weight_high)
+    kinds = np.concatenate(
+        [
+            np.full(n_base + crowd_size, ADD, dtype=np.int64),
+            np.full(n_decay, DELETE, dtype=np.int64),
+        ]
+    )
+    return src, dst, weights, kinds
+
+
+def split_churn_streams(
+    src: np.ndarray,
+    dst: np.ndarray,
+    weights: np.ndarray,
+    kinds: np.ndarray,
+    n_streams: int,
+) -> list[ArrayEventStream]:
+    """Deal churn columns into streams by canonical-edge hash.
+
+    Every event on one unordered endpoint pair lands in the same stream
+    (in the input order), so an edge's whole add/delete lifecycle is
+    totally ordered and the final topology is backend-independent.  No
+    pre-randomisation: the input order IS the causal order.
+    """
+    check_positive("n_streams", n_streams)
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    lo = np.minimum(src, dst)
+    hi = np.maximum(src, dst)
+    sid = (lo * _PAIR_MIX + hi) % np.int64(n_streams)
+    out = []
+    for s in range(n_streams):
+        sel = sid == s
+        out.append(
+            ArrayEventStream(
+                src[sel],
+                dst[sel],
+                np.asarray(weights, dtype=np.int64)[sel],
+                np.asarray(kinds, dtype=np.int64)[sel],
+                stream_id=s,
+            )
+        )
+    return out

@@ -6,7 +6,8 @@ recorded metric instead of an end-of-run assertion: at each sampler
 firing, a :class:`FreshnessProbe` compares every watched program's
 **live state** against the **static reference computed on the
 ingested-so-far prefix** (the engine's current topology — exactly the
-discretized prefix a quiescent run would have produced) and records:
+discretized prefix a quiescent run would have produced, with every
+applied delete already retired from it) and records:
 
 * ``stale`` — the number of vertices whose live value differs from the
   static reference right now (not-yet-converged vertices);
@@ -33,7 +34,13 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
-from repro.analytics.verify import verify_bfs, verify_cc, verify_sssp, verify_st
+from repro.analytics.verify import (
+    verify_bfs,
+    verify_cc,
+    verify_sssp,
+    verify_st,
+    verify_widest,
+)
 
 
 def make_reference(
@@ -43,9 +50,17 @@ def make_reference(
     value_of: Callable[[Any], int] | None = None,
 ) -> Callable[[Any], list[str]]:
     """Build a reference checker ``engine -> mismatch list`` for one of
-    the stock algorithm families (``bfs``/``sssp``/``cc``/``st``),
-    closing over the verifier arguments.  ``prog`` is bound later by
+    the stock algorithm families
+    (``bfs``/``sssp``/``cc``/``st``/``widest``), closing over the
+    verifier arguments.  ``prog`` is bound later by
     :meth:`FreshnessProbe.watch`.
+
+    The oracle is recomputed each sample on the engine's *current*
+    stored topology, which reflects every applied event — deletes
+    included — so the ``stale``/lag series stays truthful on §VI-B
+    churn streams, not just add-only ones.  Watching a generational
+    program requires ``value_of`` (its stored values are tagged tuples;
+    pass the projection, e.g. ``lambda v: v[1]`` for distance).
     """
     if kind == "bfs":
         return lambda eng, prog: verify_bfs(eng, prog, source, value_of=value_of)
@@ -54,7 +69,11 @@ def make_reference(
     if kind == "cc":
         return lambda eng, prog: verify_cc(eng, prog, value_of=value_of)
     if kind == "st":
-        return lambda eng, prog: verify_st(eng, prog, sources)
+        return lambda eng, prog: verify_st(eng, prog, sources, value_of=value_of)
+    if kind == "widest":
+        return lambda eng, prog: verify_widest(
+            eng, prog, source, value_of=value_of
+        )
     raise ValueError(f"no static reference for algorithm kind {kind!r}")
 
 

@@ -10,6 +10,7 @@ K_ADD      ``src i8, dst i8, weight i8, ver u4``             (28 B)
 K_RADD     ``dst i8, src i8, weight i8, ver u4, vals u8×P``  (28+8P B)
 K_UPDATE   ``prog u2, target i8, sender i8, value u8, weight i8,
            ver u4``                                          (38 B)
+K_DEL      ``src i8, dst i8, ver u4``                        (20 B)
 ========== ===========================================================
 
 ``P`` is the number of loaded programs (RADD carries one value per
@@ -22,6 +23,13 @@ their UPDATEs, and every RADD in a run that loads any such program,
 fall back to a ``K_PICKLE`` slab (a pickled tuple list riding the same
 ring, so per-channel FIFO is preserved; the pipe still carries only
 control frames).
+
+``K_DEL`` carries edge retirements (the §VI-B delete extension on the
+mp backend): a DEL names only the edge and the stream version, so it is
+*always* packable regardless of program mix.  The reverse-delete
+(VT_RDEL) carries one value per program, which for the generational
+programs are arbitrary Python tuples — it rides K_PICKLE, exactly like
+generational UPDATEs.
 
 :meth:`Codec.encode_batch` splits a batch into *consecutive runs* of
 one slab kind — order within the batch is never permuted, which is what
@@ -39,8 +47,8 @@ from typing import Any, Sequence
 
 import numpy as np
 
-from repro.parallel.shm import K_ADD, K_PICKLE, K_RADD, K_UPDATE
-from repro.runtime.visitor import VT_ADD, VT_RADD, VT_UPDATE
+from repro.parallel.shm import K_ADD, K_DEL, K_PICKLE, K_RADD, K_UPDATE
+from repro.runtime.visitor import VT_ADD, VT_DEL, VT_RADD, VT_UPDATE
 
 _MASK64 = (1 << 64) - 1
 _SIGN_BIT = 1 << 63
@@ -59,6 +67,8 @@ UPDATE_DTYPE = np.dtype(
         ("ver", "<u4"),
     ]
 )
+
+DEL_DTYPE = np.dtype([("src", "<i8"), ("dst", "<i8"), ("ver", "<u4")])
 
 
 def radd_dtype(n_programs: int) -> np.dtype:
@@ -102,6 +112,8 @@ class Codec:
         vt = msg[0]
         if vt == VT_ADD:
             return K_ADD
+        if vt == VT_DEL:
+            return K_DEL
         if vt == VT_RADD and self.all_packable:
             return K_RADD
         if vt == VT_UPDATE and self.packable[msg[1]]:
@@ -158,6 +170,12 @@ class Codec:
             arr["weight"] = [m[5] for m in run]
             arr["ver"] = [m[6] for m in run]
             return (K_UPDATE, n, arr.tobytes())
+        if kind == K_DEL:
+            arr = np.empty(n, dtype=DEL_DTYPE)
+            arr["src"] = [m[1] for m in run]
+            arr["dst"] = [m[2] for m in run]
+            arr["ver"] = [m[3] for m in run]
+            return (K_DEL, n, arr.tobytes())
         raise ValueError(f"unknown slab kind {kind}")
 
     # -- decode: zero-copy record views (vectorized drain) -------------
@@ -169,6 +187,9 @@ class Codec:
 
     def update_view(self, payload: np.ndarray) -> np.ndarray:
         return np.frombuffer(payload, dtype=UPDATE_DTYPE)
+
+    def del_view(self, payload: np.ndarray) -> np.ndarray:
+        return np.frombuffer(payload, dtype=DEL_DTYPE)
 
     # -- decode: native visitor tuples (per-event fallback) ------------
     def decode_to_tuples(self, kind: int, payload: np.ndarray | bytes) -> list[tuple]:
@@ -212,5 +233,10 @@ class Codec:
                 for prog, target, sender, value, weight, ver in self.update_view(
                     payload
                 ).tolist()
+            ]
+        if kind == K_DEL:
+            return [
+                (VT_DEL, src, dst, ver)
+                for src, dst, ver in self.del_view(payload).tolist()
             ]
         raise ValueError(f"unknown slab kind {kind}")

@@ -23,7 +23,7 @@ from typing import Any, Iterable
 import numpy as np
 
 from repro.comm.costmodel import RankCounters
-from repro.events.stream import DELETE, ArrayEventStream, EventStream
+from repro.events.stream import ADD, ArrayEventStream, EventStream
 from repro.obs.distributed import ClockAnchor, merge_rank_obs
 from repro.parallel.shm import ShmRing, create_ring
 from repro.parallel.wire import FRAME_ERROR, FRAME_RESULT, WireConfig
@@ -190,10 +190,13 @@ def run_parallel(
     columns: list[tuple | None] = [None] * n
     for r, stream in enumerate(streams):
         columns[r] = _stream_columns(stream)
-    # Add-only iff no stream column carries a DELETE (kinds None means
-    # pure ADD by construction) — gates the vectorized drain.
+    # Add-only iff every stream column *provably* carries only ADDs
+    # (kinds None means pure ADD by ArrayEventStream construction) —
+    # gates the vectorized drain.  The check is against ADD, not
+    # against DELETE: an unknown kind value must conservatively
+    # disqualify the stream, never slip through the fast path.
     add_only = all(
-        cols is None or cols[3] is None or not bool((cols[3] == DELETE).any())
+        cols is None or cols[3] is None or bool((cols[3] == ADD).all())
         for cols in columns
     )
 

@@ -20,7 +20,7 @@ share one.  Slabs are contiguous in the data region and 32-byte
 aligned::
 
     +0   seq        (u8)  ring position the slab was committed at
-    +8   kind       (u4)  K_PAD / K_PICKLE / K_UPDATE / K_ADD / K_RADD
+    +8   kind       (u4)  K_PAD / K_PICKLE / K_UPDATE / K_ADD / K_RADD / K_DEL
     +12  n_records  (u4)
     +16  nbytes     (u8)  payload length (excluding header + padding)
     +24  sender     (u8)  producing rank (redundant check field)
@@ -68,6 +68,7 @@ K_PICKLE = 1
 K_UPDATE = 2
 K_ADD = 3
 K_RADD = 4
+K_DEL = 5
 
 _SLAB_HDR_DTYPE = np.dtype(
     [

@@ -45,6 +45,15 @@ Per-event activity between drains (local stream ingest stays
 per-event) is observed through two engine hooks — ``_value_write_hook``
 and ``_insert_hook`` — and folded into the dense mirror at the start of
 the next drain.
+
+Deletes (§VI-B) are handled defensively: the runner disables the vec
+path for delete-carrying streams, but if a K_DEL slab does reach an
+engaged applier (direct worker use, mixed drivers), :meth:`apply_deletes`
+retires provably non-support edges vectorized and otherwise refuses, at
+which point the worker calls :meth:`deopt` — dense values fold back into
+the engine's dicts, the mirror replays into the rank's store, and the
+rank continues per-event, where the generational restart protocol owns
+support breaks.
 """
 
 from __future__ import annotations
@@ -296,6 +305,114 @@ class VecApplier:
         return list(
             zip(self._e_tail.tolist(), self._e_head.tolist(), self._e_w.tolist())
         )
+
+    # -- deletes (§VI-B on the vec path) -------------------------------
+    def retire_edges(self, tails: np.ndarray, heads: np.ndarray) -> int:
+        """Drop directed pairs from the mirror; returns how many named
+        pairs were actually present (the per-event ``delete_edge``
+        success count).  Absent pairs are ignored, matching the store.
+        """
+        if tails.size == 0:
+            return 0
+        named = set(zip(tails.tolist(), heads.tolist()))
+        present = [p for p in named if p in self._pairs]
+        if not present:
+            return 0
+        for p in present:
+            self._pairs.discard(p)
+        n = np.int64(self._ids.size)
+        kt = self._idx(np.array([p[0] for p in present], dtype=np.int64))
+        kh = self._idx(np.array([p[1] for p in present], dtype=np.int64))
+        key = self._idx(self._e_tail) * n + self._idx(self._e_head)
+        keep = ~np.isin(key, kt * n + kh)
+        self._e_tail = self._e_tail[keep]
+        self._e_head = self._e_head[keep]
+        self._e_w = self._e_w[keep]
+        self._csr = None
+        return len(present)
+
+    def apply_deletes(self, recs: np.ndarray, loop) -> bool:
+        """Attempt vectorized retirement of one K_DEL slab.
+
+        All-or-nothing: every named edge — both directed twins, the vec
+        path only runs undirected — must be provably non-support under
+        *every* program's kernel (:meth:`FrontierKernel.delete_safe`),
+        judged against post-fold dense values.  On success the twins
+        retire from the mirror and True returns: removing only losing
+        candidates leaves the monotone fixpoint untouched, so no value
+        changes and nothing re-propagates.  Any unsafe edge (or a
+        kernel declining the analysis) returns False with the mirror
+        unmodified — the caller must :meth:`deopt` and route the slab
+        through per-event dispatch, where the generational programs'
+        restart protocol handles the support break.
+        """
+        # Fold per-event activity first: the support test must see the
+        # same values the per-event path would.  Improvements found by
+        # the fold still need their adoption broadcast (drain would have
+        # done it), or they die in the mirror.
+        improved = self._fold_dirty()
+        for p in range(self.n_programs):
+            if improved[p].size:
+                self._relax_and_broadcast(p, self._idx(improved[p]), loop)
+        src = recs["src"].astype(np.int64)
+        dst = recs["dst"].astype(np.int64)
+        tails = np.concatenate([src, dst])
+        heads = np.concatenate([dst, src])
+        named = np.array(
+            [p in self._pairs for p in zip(tails.tolist(), heads.tolist())],
+            dtype=bool,
+        )
+        if named.any():
+            tails_p, heads_p = tails[named], heads[named]
+            # Weight lookup against the deduped (keep-last) mirror.
+            self._build_csr()
+            n = np.int64(self._ids.size)
+            mkey = self._idx(self._e_tail) * n + self._idx(self._e_head)
+            order = np.argsort(mkey)
+            mkey_s = mkey[order]
+            qkey = self._idx(tails_p) * n + self._idx(heads_p)
+            pos = np.searchsorted(mkey_s, qkey)
+            # Every named pair is in ``_pairs`` and thus in the deduped
+            # mirror, so the lookup always lands.
+            w = self._e_w[order][pos]
+            t_idx = self._idx(tails_p)
+            h_idx = self._idx(heads_p)
+            for p, k in enumerate(self.kernels):
+                safe = k.delete_safe(
+                    self._values[p][t_idx], self._values[p][h_idx], w
+                )
+                if safe is None or not bool(np.asarray(safe).all()):
+                    return False
+        deleted = self.retire_edges(tails, heads)
+        self.engine.counters[self.rank].edge_deletes += deleted
+        self._write_back()
+        return True
+
+    def deopt(self, loop) -> None:
+        """Abandon the vec mirror and hand the rank back to per-event.
+
+        Folds pending per-event activity (broadcasting any improvement
+        it surfaces, as a drain would), writes dense values back into
+        the engine's value dicts, replays the mirror's directed edges
+        into the rank's store (raw inserts — their ``edge_inserts`` were
+        counted when first seen), and detaches the engine hooks.  After
+        this the caller must stop routing slabs through :meth:`drain`;
+        everything, including the slab that triggered the de-opt, goes
+        through ``decode_to_tuples`` → per-event dispatch.
+        """
+        improved = self._fold_dirty()
+        for p in range(self.n_programs):
+            if improved[p].size:
+                self._relax_and_broadcast(p, self._idx(improved[p]), loop)
+        self._write_back()
+        engine = self.engine
+        store = engine.stores[self.rank]
+        for s, d, w in self.edges():
+            store.insert_edge(s, d, w)
+        if engine._value_write_hook == self._on_value_write:
+            engine._value_write_hook = None
+        if engine._insert_hook == self._on_insert:
+            engine._insert_hook = None
 
     # -- drain ---------------------------------------------------------
     def drain(self, slabs: list[tuple[int, int, int, np.ndarray]], loop) -> int:

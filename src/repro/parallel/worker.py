@@ -32,7 +32,7 @@ from typing import Any
 from repro.obs.distributed import RankObs, harvest_payload
 from repro.parallel.codec import Codec
 from repro.parallel.loop import PipeLoop, ShmLoop
-from repro.parallel.shm import K_ADD, K_RADD, K_UPDATE, ShmRing, attach_ring
+from repro.parallel.shm import K_ADD, K_DEL, K_RADD, K_UPDATE, ShmRing, attach_ring
 from repro.parallel.termination import RingCoordinator, RingMember
 from repro.parallel.vecapply import VecApplier, vec_eligible
 from repro.parallel.wire import (
@@ -199,16 +199,39 @@ def _run_rank(
     token_outstanding = False
     stopping = False
 
+    def deopt_applier() -> None:
+        """Tear the vec applier down to per-event operation.
+
+        The applier folds its mirror back into the engine
+        (:meth:`VecApplier.deopt`); the rank's remaining stream slice —
+        bulk-pulled until now — re-attaches for per-event ingestion at
+        its current cursor.
+        """
+        nonlocal applier, vec_stream
+        assert applier is not None
+        applier.deopt(loop)
+        applier = None
+        if vec_stream is not None:
+            if not vec_stream.exhausted:
+                engine.attach_stream(rank, vec_stream)
+            vec_stream = None
+
     def drain_rings() -> bool:
         """Consume every committed slab from the incoming rings.
 
         Vectorized-eligible record slabs accumulate for one kernel
         drain (counting their own wire_received — they bypass
         ``deliver_batch``); everything else decodes back to visitor
-        tuples for per-event dispatch.  Rings are committed only after
-        the kernel drain, which copies out of the shared pages before
-        any emission it triggers could need the space back.
+        tuples for per-event dispatch.  A K_DEL slab reaching an engaged
+        applier is first flushed through the pending kernel drain (FIFO
+        before the delete), then retired vectorized when every named
+        edge is provably non-support — otherwise the applier de-opts
+        and the slab (and every later one) dispatches per-event.  Rings
+        are committed only after the kernel drain, which copies out of
+        the shared pages before any emission it triggers could need the
+        space back.
         """
+        nonlocal applier
         if not rings_in:
             return False
         assert codec is not None
@@ -230,6 +253,18 @@ def _run_rank(
                     vec_slabs.append((kind, n, sender_rank, payload))
                     loop.wire_received += n
                     loop.frames_received += 1
+                elif applier is not None and kind == K_DEL:
+                    if vec_slabs:
+                        applier.drain(vec_slabs, loop)
+                        vec_slabs = []
+                    if applier.apply_deletes(codec.del_view(payload), loop):
+                        loop.wire_received += n
+                        loop.frames_received += 1
+                    else:
+                        deopt_applier()
+                        loop.deliver_batch(
+                            sender_rank, codec.decode_to_tuples(kind, payload)
+                        )
                 else:
                     loop.deliver_batch(
                         sender_rank, codec.decode_to_tuples(kind, payload)

@@ -8,7 +8,11 @@ and the continuous Chandy-Lamport-style versioned variant (§III-D).
 """
 
 from repro.runtime.program import VertexContext, VertexProgram
-from repro.runtime.engine import DynamicEngine, EngineConfig
+from repro.runtime.engine import (
+    DynamicEngine,
+    EngineConfig,
+    UnsupportedCollectionError,
+)
 from repro.runtime.queries import Trigger, TriggerManager
 from repro.runtime.reference import ReferenceEngine
 from repro.runtime.snapshot import CollectionResult
@@ -17,6 +21,7 @@ __all__ = [
     "VertexContext",
     "VertexProgram",
     "DynamicEngine",
+    "UnsupportedCollectionError",
     "EngineConfig",
     "Trigger",
     "ReferenceEngine",

@@ -7,12 +7,23 @@ drained, no messages in flight), the engine's durable state is exactly:
 * the topology (every rank's stored directed edges + weights),
 * each program's vertex values,
 * the stream-version / snapshot counters,
+* the per-rank event counters (source events, edge inserts/deletes),
 
 which this module serialises to a compressed ``.npz`` plus a pickled
 side-car for non-integer program values (tuples, bitsets).  Restoring
 builds a fresh engine with the same configuration and programs and
 reloads that state; virtual clocks restart at zero (wall-clock history
 is not part of the algorithmic state).
+
+Delete-safety (§VI-B): the generational programs' entire generation /
+epoch state — the ``(counter, initiator)`` epoch and generation ints —
+lives *inside* the vertex value tuples, so it rides the values side-car
+with no separate table.  A checkpoint taken at quiescence is therefore
+a consistent generational cut: every vertex's epoch is final for the
+prefix, and replaying a delete-carrying suffix restarts epochs from the
+restored counters exactly as an uninterrupted run would.  The per-rank
+counters must round-trip too, or ``edge_deletes`` (and the churn
+metrics derived from it) silently undercount after every recovery.
 
 Security note: the values side-car uses :mod:`pickle`; only restore
 checkpoints you produced.
@@ -69,6 +80,7 @@ def save_checkpoint(
         "values": values,
         "stream_version": list(engine.stream_version),
         "next_version": engine._next_version,
+        "counters": list(engine.counters),
         "extra": dict(extra) if extra else {},
     }
     path = Path(path)
@@ -114,5 +126,20 @@ def load_checkpoint(engine: DynamicEngine, path: str | Path) -> dict:
             engine.values[rank][p][vid] = val
     engine.stream_version = list(payload["stream_version"])
     engine._next_version = payload["next_version"]
+    # Per-rank counters resume where the saved incarnation left off
+    # (older checkpoints carry none — those start from zero, as before).
+    # Restoring into a different rank count repartitions the topology,
+    # so per-rank attribution is meaningless there; the merged totals
+    # land on rank 0 to keep every aggregate (edge_deletes and friends)
+    # exact across the recovery.
+    saved_counters = payload.get("counters")
+    if saved_counters is not None:
+        if len(saved_counters) == len(engine.counters):
+            engine.counters = list(saved_counters)
+        else:
+            total = saved_counters[0]
+            for c in saved_counters[1:]:
+                total = total.merge(c)
+            engine.counters[0] = total
     # Older checkpoints (pre-fault-tolerance) carry no extra payload.
     return payload.get("extra", {})

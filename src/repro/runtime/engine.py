@@ -68,6 +68,19 @@ _CTRL_SPAN_NAMES = {
 }
 
 
+class UnsupportedCollectionError(RuntimeError):
+    """A versioned (continuous) global-state collection was requested
+    for a program that cannot support it.
+
+    The generational delete programs (§VI-B) declare
+    ``supports_versioned_collection = False``: an epoch/generation
+    restart rewrites state that the prev/new version split would have
+    frozen, so a harvested cut would be silently wrong.  Use quiescence
+    collection (run to quiescence, read ``DynamicEngine.state``)
+    instead.
+    """
+
+
 @dataclass(frozen=True)
 class EngineConfig:
     """Construction-time knobs of the engine."""
@@ -239,6 +252,12 @@ class DynamicEngine(RankHandler):
         # the per-event hot path pays one is-None check.
         self._value_write_hook: Callable[[int, int, Any], None] | None = None
         self._insert_hook: Callable[[int, int, int], None] | None = None
+        # Fired as ``hook(src, dst)`` on every applied edge delete (both
+        # the canonical and the reverse side).  The serving layer uses
+        # it to demote "absorbing" cache entries — a delete can lower
+        # the true static answer, so absorption stops being sound the
+        # moment the stream stops being add-only.
+        self._delete_hook: Callable[[int, int], None] | None = None
         # Serving-layer cache invalidation (repro.serving): fired on
         # every per-event value write as ``hook(prog, vertex)`` so a
         # stable-value cache can drop the entry.  The ServingLayer
@@ -579,8 +598,22 @@ class DynamicEngine(RankHandler):
         Only one collection runs at a time (as in the paper's
         prototype); a request arriving while another is active is
         deferred and begins — with a fresh cut — when it concludes.
+
+        Raises :class:`UnsupportedCollectionError` for programs that
+        declare ``supports_versioned_collection = False`` (the
+        generational delete programs): their restarts are not
+        expressible as a prev/new version split, so the harvested cut
+        would be silently wrong.
         """
         p = self.prog_index(prog)
+        program = self.programs[p]
+        if not getattr(program, "supports_versioned_collection", True):
+            raise UnsupportedCollectionError(
+                f"program {program.name!r} does not support versioned "
+                "collection (generational delete state cannot be split "
+                "into prev/new versions); pause-and-drain quiescence "
+                "collection is the supported path"
+            )
         self.loop.schedule_alarm(at_time, lambda: self._begin_collection(p, at_time, callback))
 
     def _begin_collection(self, prog: int, requested_at: float, callback) -> None:
@@ -834,6 +867,8 @@ class DynamicEngine(RankHandler):
         self._topo_mutations += 1
         if store.delete_edge(src, dst):
             self.counters[rank].edge_deletes += 1
+        if self._delete_hook is not None:
+            self._delete_hook(src, dst)
         self._charge(rank, self.cost.edge_insert_cpu)
         self._charge_spill(rank, store)
 

@@ -150,6 +150,13 @@ class VertexProgram:
       whose fixpoint is interleaving-independent (§II-B); ``None`` (the
       default) keeps the program per-event, which in turn keeps the
       whole engine per-event whenever the program is loaded.
+    * ``supports_versioned_collection`` — whether versioned (continuous)
+      global-state collection (§III-D) is sound for this program.  The
+      generational delete programs set it False: their epoch/generation
+      restarts are not expressible as the prev/new version split, so the
+      engine refuses the collection
+      (:class:`~repro.runtime.engine.UnsupportedCollectionError`)
+      instead of harvesting a silently wrong cut.
     """
 
     name = "vertex-program"
@@ -157,6 +164,7 @@ class VertexProgram:
     snapshot_mode = "merge"
     combine: Callable[[Any, Any], Any] | None = None
     bulk_kernel: Any | None = None
+    supports_versioned_collection = True
 
     # -- lifecycle callbacks ---------------------------------------------
     def on_init(self, ctx: VertexContext, payload: Any) -> None:

@@ -8,7 +8,11 @@ there are two moments at which a value is provably done changing —
 * **absorbing** — the value equals a known monotone bound (the static
   answer on the *full* intended stream).  Monotone convergence makes
   equality absorbing: the value can never move again, ever, so the
-  entry survives even bulk value flushes;
+  entry survives even bulk value flushes.  This argument needs an
+  insert-only source — under §VI-B deletes values are not monotone and
+  equality with the bound is revisitable, so the serving layer refuses
+  absorbing admission (and demotes stale absorbing entries) the moment
+  a delete-carrying stream is attached;
 * **settled** — the engine is drained (or the freshness probe proved
   lag zero at an unchanged write epoch), i.e. the value is the
   converged answer on the *ingested-so-far* prefix.  It may still
@@ -72,12 +76,30 @@ class StableValueCache:
         if self._entries[prog].pop(vertex, None) is not None:
             self.invalidations += 1
 
-    def flush_prog(self, prog: int) -> None:
+    def demote(self, prog: int, vertex: int) -> None:
+        """Reclassify the hit just counted for ``(prog, vertex)`` as a
+        miss and drop the entry: the caller found the entry's absorbing
+        claim no longer valid (a delete-carrying stream was attached
+        after admission) and falls through to a live read."""
+        self.hits -= 1
+        self.misses += 1
+        if self._entries[prog].pop(vertex, None) is not None:
+            self.invalidations += 1
+
+    def flush_prog(self, prog: int, keep_absorbing: bool = True) -> None:
         """Bulk-flush hook: values for ``prog`` were rewritten outside
         the per-write path; drop everything except absorbing entries
-        (their monotone bound holds regardless of how values flow)."""
+        (their monotone bound holds regardless of how values flow).
+
+        ``keep_absorbing=False`` drops absorbing entries too — required
+        once the source streams carry deletes (§VI-B): under deletes a
+        value can move *away* from the full-stream bound again, so
+        "equals the bound" is no longer an absorbing state and a bulk
+        rewrite may strand the entry incoherent."""
         entries = self._entries[prog]
-        doomed = [v for v, e in entries.items() if not e[2]]
+        doomed = [
+            v for v, e in entries.items() if not (keep_absorbing and e[2])
+        ]
         for v in doomed:
             del entries[v]
         self.invalidations += len(doomed)

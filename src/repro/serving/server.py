@@ -105,6 +105,13 @@ class EngineBackend:
     def drained(self) -> bool:
         return self.engine.drained()
 
+    def add_only(self) -> bool:
+        """Are the attached streams provably insert-only?  Deletes
+        (§VI-B) break the monotone-bound argument behind absorbing
+        cache entries, so the serving layer must ask per admission —
+        a delete-carrying stream can be attached at any time."""
+        return self.engine._streams_add_only
+
     def watermark(self) -> int:
         return self.engine.ingest_watermark()
 
@@ -186,6 +193,9 @@ class FrozenBackend:
 
     def drained(self) -> bool:
         return True
+
+    def add_only(self) -> bool:
+        return True  # frozen harvests are final regardless of history
 
     def watermark(self) -> int:
         return 0
@@ -271,6 +281,13 @@ class ServingLayer:
         p = prog if type(prog) is int else backend.prog_index(prog)
         m = self.metrics
         entry = self.cache.lookup(p, vertex)
+        if entry is not None and entry[2] and not backend.add_only():
+            # The entry was admitted absorbing while every stream was
+            # insert-only, but a delete-carrying stream has since been
+            # attached: under deletes a value can move away from the
+            # full-stream bound again, so the absorbing claim is void.
+            self.cache.demote(p, vertex)
+            entry = None
         if entry is not None:
             value, _admitted_at, absorbing = entry
             stale = not absorbing and not self._stable_now(p)
@@ -282,10 +299,18 @@ class ServingLayer:
             value = backend.read(p, vertex)
             settled = self._stable_now(p)
             ref = self._refs.get(p)
-            absorbing = ref is not None and value == ref.get(vertex, 0)
+            # Absorbing admission requires the monotone-bound argument,
+            # which only holds on insert-only sources (§VI-B deletes
+            # make "equals the bound" a revisitable state, not a fixed
+            # point) — on churn streams only settled admission remains.
+            absorbing = (
+                ref is not None
+                and backend.add_only()
+                and value == ref.get(vertex, 0)
+            )
             if absorbing or settled:
                 if not self._hooked:
-                    backend.install_hooks(self.cache.invalidate, self.cache.flush_prog)
+                    backend.install_hooks(self.cache.invalidate, self._flush_prog)
                     self._hooked = True
                 self.cache.admit(p, vertex, value, backend.vtime(), absorbing)
                 m.inc("serve_admissions")
@@ -303,6 +328,11 @@ class ServingLayer:
         """Is every already-ingested event provably propagated?"""
         backend = self.backend
         return backend.drained() or backend.probe_converged(prog)
+
+    def _flush_prog(self, prog: int) -> None:
+        """Bulk-flush hook: absorbing entries survive only while the
+        monotone-bound argument does (insert-only sources)."""
+        self.cache.flush_prog(prog, keep_absorbing=self.backend.add_only())
 
     # -- typed wrappers over point() -------------------------------------
     def distance(self, prog: int | str, vertex: int) -> QueryResult:

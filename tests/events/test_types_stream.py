@@ -67,6 +67,25 @@ class TestArrayEventStream:
         s.reset()
         assert list(s) == first
 
+    def test_pull_chunk_requires_add_only(self):
+        # pull_chunk returns kind-less columns: slicing a delete-carrying
+        # stream through it would silently reinterpret DELETEs as ADDs.
+        churn = ArrayEventStream(
+            np.array([1, 1]),
+            np.array([2, 2]),
+            kinds=np.array([ADD, DELETE]),
+        )
+        assert not churn.add_only
+        with pytest.raises(ValueError, match="non-ADD"):
+            churn.pull_chunk(8)
+        # ...while an all-ADD kinds array still chunks fine.
+        pure = ArrayEventStream(
+            np.array([1, 3]), np.array([2, 4]), kinds=np.array([ADD, ADD])
+        )
+        assert pure.add_only
+        src, dst, _w = pure.pull_chunk(8)
+        assert src.tolist() == [1, 3] and dst.tolist() == [2, 4]
+
     def test_validation(self):
         with pytest.raises(ValueError):
             ArrayEventStream(np.array([1]), np.array([1, 2]))

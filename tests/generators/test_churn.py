@@ -1,0 +1,134 @@
+"""Churn generator invariants — the workload side of §VI-B deletes.
+
+The generator's contracts are what make churn streams well-defined on
+every backend: each delete names an edge added earlier, weights are a
+pure function of the canonical pair (so a re-add can never change a
+stored weight), and the stream split confines an edge's whole
+add/delete lifecycle to one stream in input order.
+"""
+
+import numpy as np
+import pytest
+
+from repro.events.types import ADD, DELETE
+from repro.generators.churn import (
+    churn_events,
+    flash_crowd_events,
+    split_churn_streams,
+)
+
+
+def canon(s, d):
+    return (min(s, d), max(s, d))
+
+
+class TestChurnEvents:
+    def test_every_delete_follows_its_add(self):
+        src, dst, _w, kinds = churn_events(
+            40, 300, delete_ratio=0.3, rng=np.random.default_rng(1)
+        )
+        live = {}
+        for s, d, k in zip(src.tolist(), dst.tolist(), kinds.tolist()):
+            key = canon(s, d)
+            if k == ADD:
+                live[key] = live.get(key, 0) + 1
+            else:
+                assert live.get(key, 0) > 0, f"delete of never-added {key}"
+                live[key] -= 1
+
+    def test_delete_fraction_matches_ratio(self):
+        for ratio in (0.0, 0.2, 0.4):
+            _s, _d, _w, kinds = churn_events(
+                50, 400, delete_ratio=ratio, rng=np.random.default_rng(2)
+            )
+            frac = float((kinds == DELETE).sum()) / len(kinds)
+            assert abs(frac - ratio) < 0.02, (ratio, frac)
+
+    def test_weights_are_canonical_pair_deterministic(self):
+        src, dst, w, _k = churn_events(
+            30, 400, delete_ratio=0.25, rng=np.random.default_rng(3),
+            weight_high=9,
+        )
+        seen = {}
+        for s, d, wt in zip(src.tolist(), dst.tolist(), w.tolist()):
+            key = canon(s, d)
+            assert 1 <= wt < 9
+            assert seen.setdefault(key, wt) == wt, (
+                f"pair {key} carried two weights"
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="delete_ratio"):
+            churn_events(10, 10, delete_ratio=1.0)
+        with pytest.raises(ValueError, match="delete_ratio"):
+            churn_events(10, 10, delete_ratio=-0.1)
+        with pytest.raises(ValueError, match="weight_high"):
+            churn_events(10, 10, weight_high=1)
+        with pytest.raises(ValueError):
+            churn_events(0, 10)
+
+    def test_seeded_runs_are_reproducible(self):
+        a = churn_events(20, 100, rng=np.random.default_rng(7))
+        b = churn_events(20, 100, rng=np.random.default_rng(7))
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+
+class TestFlashCrowd:
+    def test_phase_shape(self):
+        src, dst, _w, kinds = flash_crowd_events(
+            30, 50, 40, decay_ratio=0.5, rng=np.random.default_rng(4), hub=3
+        )
+        assert len(kinds) == 50 + 40 + 20
+        assert (kinds[:90] == ADD).all()
+        assert (kinds[90:] == DELETE).all()
+        # The crowd phase is hub-incident; the decay names crowd edges.
+        assert (src[50:90] == 3).all()
+        assert (dst[50:90] != 3).all()
+        crowd = set(zip(src[50:90].tolist(), dst[50:90].tolist()))
+        assert set(zip(src[90:].tolist(), dst[90:].tolist())) <= crowd
+
+    def test_decay_ratio_bounds(self):
+        with pytest.raises(ValueError, match="decay_ratio"):
+            flash_crowd_events(10, 5, 5, decay_ratio=1.5)
+
+
+class TestSplitChurnStreams:
+    def test_lifecycle_confined_to_one_stream_in_order(self):
+        cols = churn_events(
+            30, 250, delete_ratio=0.3, rng=np.random.default_rng(5)
+        )
+        streams = split_churn_streams(*cols, 4)
+        assert len(streams) == 4
+        pair_stream = {}
+        total = 0
+        for sid, stream in enumerate(streams):
+            live = {}
+            for k, s, d, _w in stream:
+                total += 1
+                key = canon(s, d)
+                # every event on a pair lands in exactly one stream...
+                assert pair_stream.setdefault(key, sid) == sid
+                # ...and arrives in a valid lifecycle order within it.
+                if k == ADD:
+                    live[key] = live.get(key, 0) + 1
+                else:
+                    assert live.get(key, 0) > 0
+                    live[key] -= 1
+        assert total == len(cols[0])
+
+    def test_delete_carrying_streams_report_not_add_only(self):
+        cols = churn_events(
+            20, 120, delete_ratio=0.3, rng=np.random.default_rng(6)
+        )
+        streams = split_churn_streams(*cols, 3)
+        assert any(not s.add_only for s in streams)
+        pure = churn_events(
+            20, 120, delete_ratio=0.0, rng=np.random.default_rng(6)
+        )
+        assert all(s.add_only for s in split_churn_streams(*pure, 3))
+
+    def test_split_validation(self):
+        cols = churn_events(10, 20, rng=np.random.default_rng(8))
+        with pytest.raises(ValueError):
+            split_churn_streams(*cols, 0)

@@ -47,7 +47,7 @@ class TestMakeReference:
             make_reference("pagerank")
 
     def test_each_kind_builds_a_callable(self):
-        for kind in ("bfs", "sssp", "cc", "st"):
+        for kind in ("bfs", "sssp", "cc", "st", "widest"):
             assert callable(make_reference(kind, source=0, sources=[0]))
 
 
@@ -136,6 +136,90 @@ class TestFreshnessProbe:
         eng.add_freshness_probe("cc", make_reference("cc"))
         watch = eng.sampler.freshness.watch_for("cc")
         assert watch.last_stale == -1 and watch.last_epoch == -1
+
+    def test_widest_reference_with_weights(self):
+        from repro import WidestPath
+        from repro.generators.weights import pairwise_weights
+
+        rng = np.random.default_rng(6)
+        src, dst = rmat_edges(7, edge_factor=4, rng=rng)
+        w = pairwise_weights(src, dst, 1, 9)
+        source = int(src[0])
+
+        def build(**cfg):
+            e = DynamicEngine(
+                [WidestPath()], EngineConfig(n_ranks=2, **cfg)
+            )
+            e.init_program("widest", source)
+            e.attach_streams(split_streams(src, dst, 2, weights=w))
+            return e
+
+        probe = build()
+        probe.run()
+        makespan = probe.loop.max_time()
+        eng = build(sample_interval=makespan / 20)
+        eng.add_freshness_probe(
+            "widest", make_reference("widest", source=source)
+        )
+        eng.run()
+        final = eng.metrics.rows("freshness")[-1]
+        assert final["stale"] == 0
+
+    def test_churn_stream_reference_stays_truthful(self):
+        # §VI-B: the oracle recomputes on the *current* topology with
+        # every applied delete retired, so a generational program on a
+        # churn stream must read stale == 0 at quiescence.
+        from repro import GenerationalBFS
+        from repro.generators.churn import churn_events, split_churn_streams
+
+        cols = churn_events(
+            30, 140, delete_ratio=0.25, rng=np.random.default_rng(7)
+        )
+
+        def build(**cfg):
+            e = DynamicEngine(
+                [GenerationalBFS()],
+                EngineConfig(n_ranks=2, undirected=True, **cfg),
+            )
+            e.init_program("gen-bfs", 0)
+            e.attach_streams(split_churn_streams(*cols, 2))
+            return e
+
+        probe = build()
+        probe.run()
+        assert sum(c.edge_deletes for c in probe.counters) > 0
+        makespan = probe.loop.max_time()
+        eng = build(sample_interval=makespan / 25)
+        eng.add_freshness_probe(
+            "gen-bfs",
+            make_reference("bfs", source=0, value_of=lambda v: v[1]),
+        )
+        eng.run()
+        rows = eng.metrics.rows("freshness")
+        assert rows[-1]["stale"] == 0
+        assert rows[-1]["lag"] == 0.0
+
+    def test_st_reference_passes_value_of(self):
+        from repro import GenerationalST
+        from repro.events.types import ADD, DELETE
+        from repro import ListEventStream
+
+        st = GenerationalST()
+        bit = st.register_source(0)
+        e = DynamicEngine(
+            [st], EngineConfig(n_ranks=1, sample_interval=1e-5)
+        )
+        e.init_program("gen-st", 0, bit)
+        e.add_freshness_probe(
+            "gen-st",
+            make_reference(
+                "st", sources=[0], value_of=GenerationalST.mask_of
+            ),
+        )
+        events = [(ADD, 0, 1, 1), (ADD, 1, 2, 1), (DELETE, 1, 2, 0)]
+        e.attach_streams([ListEventStream(events)])
+        e.run()
+        assert e.metrics.rows("freshness")[-1]["stale"] == 0
 
     def test_bulk_mirror_flush_is_not_a_deoptimization(self):
         # Probing a bulk-ingest run folds the dense mirror back before

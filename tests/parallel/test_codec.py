@@ -20,9 +20,15 @@ from repro import (
     MultiSTConnectivity,
     WidestPath,
 )
-from repro.parallel.codec import ADD_DTYPE, UPDATE_DTYPE, Codec, radd_dtype
-from repro.parallel.shm import K_ADD, K_PICKLE, K_RADD, K_UPDATE
-from repro.runtime.visitor import VT_ADD, VT_RADD, VT_UPDATE
+from repro.parallel.codec import (
+    ADD_DTYPE,
+    DEL_DTYPE,
+    UPDATE_DTYPE,
+    Codec,
+    radd_dtype,
+)
+from repro.parallel.shm import K_ADD, K_DEL, K_PICKLE, K_RADD, K_UPDATE
+from repro.runtime.visitor import VT_ADD, VT_DEL, VT_RADD, VT_UPDATE
 
 # All-packable run: every program declares a bulk kernel (BFS/SSSP are
 # signed min-plus, CC is unsigned max-label).
@@ -158,3 +164,58 @@ class TestRecordViews:
     def test_unknown_slab_kind_rejected(self):
         with pytest.raises(ValueError, match="unknown slab kind"):
             PACKABLE.decode_to_tuples(99, b"")
+
+
+class TestDelLane:
+    """The §VI-B DEL record lane: deletes must pack on every codec,
+    including the mixed (pickle-demoting) runs — a DELETE carries no
+    program value, so there is nothing to demote."""
+
+    def test_del_is_packable_on_every_codec(self):
+        msg = (VT_DEL, 3, 9, 1)
+        assert PACKABLE.slab_kind(msg) == K_DEL
+        assert MIXED.slab_kind(msg) == K_DEL
+
+    def test_del_batch_roundtrips_exactly(self):
+        batch = [(VT_DEL, 3, 9, 1), (VT_DEL, 5, 2, 0), (VT_DEL, 2**40, 7, 9)]
+        assert roundtrip(PACKABLE, batch) == batch
+        assert roundtrip(MIXED, batch) == batch
+
+    def test_del_view_is_zero_copy_over_the_payload(self):
+        batch = [(VT_DEL, 3, 9, 1), (VT_DEL, 5, 2, 0)]
+        [(kind, n, payload)] = PACKABLE.encode_batch(batch)
+        assert (kind, n) == (K_DEL, 2)
+        view = PACKABLE.del_view(np.frombuffer(payload, dtype=np.uint8))
+        assert view.dtype == DEL_DTYPE and view.base is not None
+        assert view["src"].tolist() == [3, 5]
+        assert view["dst"].tolist() == [9, 2]
+        assert view["ver"].tolist() == [1, 0]
+
+    def test_del_runs_stay_separate_from_adds(self):
+        batch = [
+            (VT_ADD, 0, 1, 1, 0),
+            (VT_DEL, 0, 1, 0),
+            (VT_ADD, 2, 3, 1, 0),
+        ]
+        slabs = PACKABLE.encode_batch(batch)
+        assert [(k, n) for k, n, _ in slabs] == [
+            (K_ADD, 1),
+            (K_DEL, 1),
+            (K_ADD, 1),
+        ]
+        # FIFO order survives the kind changes.
+        out = []
+        for kind, _n, payload in slabs:
+            out.extend(PACKABLE.decode_to_tuples(kind, payload))
+        assert out == batch
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        batch=st.lists(
+            st.one_of(visitor(MIXED), st.tuples(st.just(VT_DEL), vid, vid, ver)),
+            max_size=30,
+        )
+    )
+    def test_mixed_batches_with_deletes_roundtrip(self, batch):
+        batch = [tuple(m) for m in batch]
+        assert roundtrip(MIXED, batch) == batch

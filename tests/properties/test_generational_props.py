@@ -13,13 +13,19 @@ from repro import (
     EngineConfig,
     GenerationalBFS,
     GenerationalCC,
+    GenerationalSSSP,
+    GenerationalST,
+    GenerationalWidest,
     ListEventStream,
 )
-from repro.analytics import verify_bfs, verify_cc
+from repro.analytics import verify_bfs, verify_cc, verify_sssp
+from repro.analytics.verify import verify_st, verify_widest
 from repro.events.types import ADD, DELETE
 
 DIST = lambda v: v[1]  # noqa: E731
 LABEL = lambda v: v[1]  # noqa: E731
+MASK = GenerationalST.mask_of
+CAP = lambda v: v[1]  # noqa: E731
 
 edge = st.tuples(st.integers(0, 9), st.integers(0, 9)).filter(lambda e: e[0] != e[1])
 
@@ -71,6 +77,60 @@ def test_generational_cc_converges_with_deletes(events, n_ranks):
     e.attach_streams(split(events, n_ranks))
     e.run()
     assert verify_cc(e, "gen-cc", value_of=LABEL) == []
+
+
+def weighted(events):
+    """Re-weight adds as a pure function of the *canonical* pair so a
+    re-add — in either orientation — never changes a stored weight (the
+    monotone re-add contract; cf. the churn generator's pair-hashed
+    weights)."""
+    return [
+        (
+            k,
+            s,
+            d,
+            1 + (3 * min(s, d) + 5 * max(s, d)) % 7 if k == ADD else 0,
+        )
+        for k, s, d, _w in events
+    ]
+
+
+@given(events=add_delete_sequences(), n_ranks=st.integers(1, 4))
+@settings(max_examples=25, deadline=None)
+def test_generational_sssp_converges_with_deletes(events, n_ranks):
+    events = weighted(events)
+    source = next((e[1] for e in events if e[0] == ADD), 0)
+    e = DynamicEngine([GenerationalSSSP()], EngineConfig(n_ranks=n_ranks))
+    e.init_program("gen-sssp", source)
+    e.attach_streams(split(events, n_ranks))
+    e.run()
+    assert verify_sssp(e, "gen-sssp", source, value_of=DIST) == []
+
+
+@given(events=add_delete_sequences(), n_ranks=st.integers(1, 4))
+@settings(max_examples=25, deadline=None)
+def test_generational_st_converges_with_deletes(events, n_ranks):
+    sources = sorted({e[1] for e in events if e[0] == ADD} | {0})[:2]
+    prog = GenerationalST()
+    bits = [prog.register_source(s) for s in sources]
+    e = DynamicEngine([prog], EngineConfig(n_ranks=n_ranks))
+    for s, b in zip(sources, bits):
+        e.init_program("gen-st", s, b)
+    e.attach_streams(split(events, n_ranks))
+    e.run()
+    assert verify_st(e, "gen-st", sources, value_of=MASK) == []
+
+
+@given(events=add_delete_sequences(), n_ranks=st.integers(1, 4))
+@settings(max_examples=25, deadline=None)
+def test_generational_widest_converges_with_deletes(events, n_ranks):
+    events = weighted(events)
+    source = next((e[1] for e in events if e[0] == ADD), 0)
+    e = DynamicEngine([GenerationalWidest()], EngineConfig(n_ranks=n_ranks))
+    e.init_program("gen-widest", source)
+    e.attach_streams(split(events, n_ranks))
+    e.run()
+    assert verify_widest(e, "gen-widest", source, value_of=CAP) == []
 
 
 @given(events=add_delete_sequences())

@@ -201,6 +201,81 @@ class TestExtraPayload:
         assert load_checkpoint(restored, path) == {}
 
 
+class TestCounterRoundTrip:
+    """§VI-B delete-safety: the per-rank counters are durable state —
+    losing them across a restore silently undercounts ``edge_deletes``
+    (and every churn metric derived from it) after each recovery."""
+
+    def _churn_engine(self, n_ranks=3):
+        from repro import GenerationalBFS, GenerationalCC
+        from repro.generators.churn import churn_events, split_churn_streams
+
+        e = DynamicEngine(
+            [GenerationalBFS(), GenerationalCC()],
+            EngineConfig(n_ranks=n_ranks, undirected=True),
+        )
+        e.init_program("gen-bfs", 0)
+        cols = churn_events(
+            30, 150, delete_ratio=0.3, rng=np.random.default_rng(21)
+        )
+        e.attach_streams(split_churn_streams(*cols, n_ranks))
+        e.run()
+        return e
+
+    def test_counters_restore_exactly(self, tmp_path):
+        original = self._churn_engine()
+        assert sum(c.edge_deletes for c in original.counters) > 0
+        path = tmp_path / "counters.npz"
+        save_checkpoint(original, path)
+
+        restored = DynamicEngine(
+            list(original.programs),
+            EngineConfig(n_ranks=3, undirected=True),
+        )
+        load_checkpoint(restored, path)
+        assert list(restored.counters) == list(original.counters)
+
+    def test_rank_count_change_preserves_totals(self, tmp_path):
+        # Restoring into a different rank count repartitions, so the
+        # counters merge onto rank 0 — no aggregate may be lost.
+        original = self._churn_engine(n_ranks=3)
+        path = tmp_path / "c.npz"
+        save_checkpoint(original, path)
+        other = DynamicEngine(
+            list(original.programs),
+            EngineConfig(n_ranks=5, undirected=True),
+        )
+        load_checkpoint(other, path)
+        assert sum(c.edge_deletes for c in other.counters) == sum(
+            c.edge_deletes for c in original.counters
+        )
+        assert sum(c.source_events for c in other.counters) == sum(
+            c.source_events for c in original.counters
+        )
+
+    def test_legacy_checkpoint_without_counters_loads(self, tmp_path):
+        # Pre-delete checkpoints carry no counters entry; they restore
+        # with zeroed counters, exactly the old behaviour.
+        import pickle
+
+        original = build_engine()
+        run_workload(original)
+        path = tmp_path / "legacy.npz"
+        save_checkpoint(original, path)
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files}
+        payload = pickle.loads(arrays["sidecar"].tobytes())
+        del payload["counters"]
+        arrays["sidecar"] = np.frombuffer(
+            pickle.dumps(payload), dtype=np.uint8
+        )
+        np.savez_compressed(path, **arrays)
+        restored = build_engine()
+        load_checkpoint(restored, path)
+        assert restored.state("bfs") == original.state("bfs")
+        assert all(c.source_events == 0 for c in restored.counters)
+
+
 class TestGuards:
     def test_save_mid_flight_rejected(self, tmp_path):
         e = build_engine()

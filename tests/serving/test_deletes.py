@@ -1,0 +1,98 @@
+"""Serving-layer soundness under delete-carrying streams (§VI-B).
+
+The absorbing admission tier rests on a monotone-bound argument that
+only holds for insert-only sources: once a delete-carrying stream is
+attached, a value can move *away* from the full-stream bound again, so
+"equals the bound" stops being absorbing.  The layer must (a) refuse
+new absorbing admissions, (b) demote absorbing entries admitted before
+the delete stream arrived, and (c) stop absorbing entries surviving
+bulk flushes.  Frozen harvests stay absorbing-eligible: they are final
+regardless of the stream's history.
+"""
+
+from repro import (
+    DynamicEngine,
+    EngineConfig,
+    IncrementalBFS,
+    ListEventStream,
+    ServingLayer,
+)
+from repro.events.types import ADD, DELETE
+from repro.serving import FrozenBackend
+from repro.serving.cache import StableValueCache
+
+
+def path_engine(n=4, n_ranks=2):
+    e = DynamicEngine([IncrementalBFS()], EngineConfig(n_ranks=n_ranks))
+    e.init_program("bfs", 0)
+    e.attach_streams([ListEventStream([(ADD, i, i + 1, 1) for i in range(n)])])
+    return e
+
+
+REFS = {"bfs": {i: i + 1 for i in range(10)}}
+
+
+class TestAbsorbingRefusedUnderDeletes:
+    def test_churn_source_never_admits_absorbing(self):
+        # one churn stream: the path's adds plus a trailing delete
+        e = DynamicEngine([IncrementalBFS()], EngineConfig(n_ranks=2))
+        e.init_program("bfs", 0)
+        events = [(ADD, i, i + 1, 1) for i in range(4)] + [(DELETE, 2, 3, 0)]
+        e.attach_streams([ListEventStream(events)])
+        e.run()
+        assert not e._streams_add_only
+        serving = ServingLayer(e, references=REFS)
+        res = serving.point("bfs", 1)
+        assert res.value == 2
+        entry = serving.cache._entries[0].get(1)
+        assert entry is not None and entry[2] is False  # settled, not absorbing
+
+    def test_absorbing_entry_demoted_when_deletes_arrive(self):
+        e = path_engine()
+        e.run()
+        serving = ServingLayer(e, references=REFS)
+        first = serving.point("bfs", 2)
+        assert first.value == 3
+        assert serving.cache._entries[0][2][2] is True  # absorbing admitted
+        assert serving.point("bfs", 2).source == "cache"
+
+        # A delete-carrying stream arrives: the absorbing claim is void.
+        e.attach_streams([ListEventStream([(DELETE, 3, 4, 0)])])
+        e.run()
+        assert not e._streams_add_only
+        demoted = serving.point("bfs", 2)
+        assert demoted.source == "live"  # the stale entry did not serve
+        assert demoted.value == 3
+        # Any re-admission is non-absorbing from now on.
+        entry = serving.cache._entries[0].get(2)
+        if entry is not None:
+            assert entry[2] is False
+
+    def test_frozen_backend_still_absorbing_eligible(self):
+        backend = FrozenBackend(["bfs"], [{0: 1, 1: 2, 2: 3}])
+        serving = ServingLayer(backend, references=REFS)
+        res = serving.point("bfs", 1)
+        assert res.value == 2 and res.stale is False
+        assert serving.cache._entries[0][1][2] is True
+        assert serving.point("bfs", 1).source == "cache"
+
+
+class TestCacheDeleteAwareness:
+    def test_demote_reclassifies_hit_as_miss(self):
+        cache = StableValueCache(1)
+        cache.admit(0, 7, "v", 1.0, True)
+        assert cache.lookup(0, 7) is not None
+        assert (cache.hits, cache.misses) == (1, 0)
+        cache.demote(0, 7)
+        assert (cache.hits, cache.misses) == (0, 1)
+        assert cache.invalidations == 1
+        assert cache.lookup(0, 7) is None  # entry dropped
+
+    def test_flush_prog_can_drop_absorbing(self):
+        cache = StableValueCache(1)
+        cache.admit(0, 1, "a", 1.0, True)
+        cache.admit(0, 2, "b", 1.0, False)
+        cache.flush_prog(0, keep_absorbing=True)
+        assert cache.size(0) == 1  # absorbing survived
+        cache.flush_prog(0, keep_absorbing=False)
+        assert cache.size(0) == 0  # deletes void the absorbing argument
