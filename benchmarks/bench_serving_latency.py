@@ -12,8 +12,8 @@ The serving layer's three headline claims, measured:
    every miss admits, so a skewed (Zipf) query mix settles onto the
    cache.  Deterministic given the seeds; gated as ``hit_rate``.
 3. **< 3% ingest overhead when enabled-but-idle** — the engine-side
-   cost of an attached-but-unqueried serving layer is one
-   ``if self._serve_invalidate is not None`` guard per value write.
+   cost of an attached-but-unqueried serving layer is one truth test
+   of the compiled ``on_write`` hook tuple per value write.
    Like ``bench_obs_overhead``, the guard is measured directly
    (noise-free) and multiplied by a pessimistic guards-per-event
    budget; a full attached-vs-plain A/B wall ratio is reported as
@@ -150,24 +150,26 @@ def _cache_vs_collection(serving, hot_vertex):
 
 def _serve_guard_loop(engine, n: int) -> float:
     """Seconds for ``8 * n`` serve-invalidation guards (the exact
-    expression ``_write_value`` evaluates when serving is idle)."""
+    expression ``_write_value`` evaluates when serving is idle: one
+    attribute load + truth test of the compiled ``on_write`` hook
+    tuple, empty when no serving layer is hooked)."""
     t0 = time.perf_counter()
     for _ in range(n):
-        if engine._serve_invalidate is not None:
+        if engine._hk_write:
             raise AssertionError
-        if engine._serve_invalidate is not None:
+        if engine._hk_write:
             raise AssertionError
-        if engine._serve_invalidate is not None:
+        if engine._hk_write:
             raise AssertionError
-        if engine._serve_invalidate is not None:
+        if engine._hk_write:
             raise AssertionError
-        if engine._serve_invalidate is not None:
+        if engine._hk_write:
             raise AssertionError
-        if engine._serve_invalidate is not None:
+        if engine._hk_write:
             raise AssertionError
-        if engine._serve_invalidate is not None:
+        if engine._hk_write:
             raise AssertionError
-        if engine._serve_invalidate is not None:
+        if engine._hk_write:
             raise AssertionError
     return time.perf_counter() - t0
 
@@ -191,7 +193,7 @@ def _idle_overhead(src, dst, source):
     idle_engine.run()
     attached_wall = time.perf_counter() - t0
 
-    assert plain_engine._serve_invalidate is None
+    assert plain_engine._hk_write == ()
     n = 100_000
     guard_s = min(
         max(_serve_guard_loop(plain_engine, n) - _empty_loop(n), 0.0) / (8 * n)

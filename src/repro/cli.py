@@ -57,7 +57,9 @@ from repro.events.io import read_edge_npz, read_edge_text, write_edge_npz, write
 from repro.events.stream import split_streams
 from repro.generators import DATASET_PRESETS, generate_preset, rmat_edges
 from repro.generators.weights import pairwise_weights
-from repro.runtime.engine import DynamicEngine, EngineConfig
+from repro.runtime.engine import EngineConfig
+from repro.runtime.lifecycle import EngineBuilder
+from repro.runtime.plugins import FaultInjectionPlugin, FreshnessPlugin
 from repro.util.timers import WallTimer
 
 GRAPH_CHOICES = sorted(set(DATASET_PRESETS) | {"rmat"})
@@ -521,14 +523,21 @@ def cmd_run(args: argparse.Namespace) -> int:
 
         def engine_factory():
             progs, _, _ = _make_programs(args.algo, src, args.sources)
-            return DynamicEngine(
-                progs,
-                EngineConfig(
-                    n_ranks=n_ranks,
-                    trace=args.trace is not None,
-                    sample_interval=sample_interval,
-                ),
-                cost_model=cost,
+            # The EngineConfig flags desugar into the equivalent
+            # plugins inside the builder (TracerPlugin/MetricsPlugin);
+            # the runner registers FaultInjectionPlugin per incarnation.
+            return (
+                EngineBuilder()
+                .with_programs(progs)
+                .with_config(
+                    EngineConfig(
+                        n_ranks=n_ranks,
+                        trace=args.trace is not None,
+                        sample_interval=sample_interval,
+                    )
+                )
+                .with_cost_model(cost)
+                .build()
             )
 
         def stream_factory():
@@ -564,29 +573,38 @@ def cmd_run(args: argparse.Namespace) -> int:
                 os.remove(ckpt_path)
         engine = fault_result.engine
     else:
-        engine = DynamicEngine(
-            programs,
-            EngineConfig(
-                n_ranks=n_ranks,
-                trace=args.trace is not None,
-                sample_interval=sample_interval,
-            ),
-            cost_model=cost,
+        # Assemble through the lifecycle builder: config flags desugar
+        # to TracerPlugin/MetricsPlugin, and the cross-cutting extras
+        # (fault plan, freshness probe) ride as explicit plugins.
+        builder = (
+            EngineBuilder()
+            .with_programs(programs)
+            .with_config(
+                EngineConfig(
+                    n_ranks=n_ranks,
+                    trace=args.trace is not None,
+                    sample_interval=sample_interval,
+                )
+            )
+            .with_cost_model(cost)
         )
         if plan is not None:
             # Transport must attach before the first message moves.
-            engine.enable_faults(plan)
-        for prog, vertex, payload in init:
-            engine.init_program(prog, vertex, payload=payload)
-        engine.attach_streams(
-            split_streams(src, dst, n_ranks, weights=weights, rng=rng)
-        )
+            builder.with_plugin(FaultInjectionPlugin(plan))
         if args.freshness:
             reference = _freshness_reference(args.algo, source_info)
             if reference is None or not programs:
                 chat("freshness: nothing to probe for construction-only")
             else:
-                engine.add_freshness_probe(programs[0].name, reference)
+                builder.with_plugin(
+                    FreshnessPlugin(programs[0].name, reference)
+                )
+        engine = builder.build()
+        for prog, vertex, payload in init:
+            engine.init_program(prog, vertex, payload=payload)
+        engine.attach_streams(
+            split_streams(src, dst, n_ranks, weights=weights, rng=rng)
+        )
         if args.snapshot_at is not None and programs:
             engine.request_collection(
                 programs[0].name, at_time=args.snapshot_at * est
@@ -843,10 +861,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
             f"serve: backend des, {n_ranks} ranks, workload {spec.describe()}"
             + (", full-stream reference bound" if args.reference else "")
         )
-        engine = DynamicEngine(
-            programs,
-            EngineConfig(n_ranks=n_ranks),
-            cost_model=CostModel(ranks_per_node=args.ranks_per_node),
+        engine = (
+            EngineBuilder()
+            .with_programs(programs)
+            .with_config(EngineConfig(n_ranks=n_ranks))
+            .with_cost_model(CostModel(ranks_per_node=args.ranks_per_node))
+            .build()
         )
         for prog, vertex, payload in init:
             engine.init_program(prog, vertex, payload=payload)

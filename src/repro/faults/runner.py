@@ -51,6 +51,7 @@ from typing import Any, Callable, Sequence
 from repro.events.stream import EventStream
 from repro.runtime.checkpoint import load_checkpoint, save_checkpoint
 from repro.runtime.engine import DynamicEngine
+from repro.runtime.plugins import FaultInjectionPlugin
 
 
 @dataclass
@@ -133,7 +134,10 @@ class FaultTolerantRunner:
                 )
             incarnations += 1
             engine = self.engine_factory()
-            engine.enable_faults(self.plan)
+            # Register through the plugin registry (the enable_faults
+            # sugar does exactly this): each incarnation is a fresh
+            # engine, so the "faults" name never collides.
+            engine.plugins.register_late(FaultInjectionPlugin(self.plan), engine)
             streams = list(self.stream_factory())
             if have_ckpt:
                 extra = load_checkpoint(engine, self.checkpoint_path)

@@ -48,7 +48,7 @@ def make_reference(
     source: int | None = None,
     sources: list[int] | None = None,
     value_of: Callable[[Any], int] | None = None,
-) -> Callable[[Any], list[str]]:
+) -> Callable[[Any, str], list[str]]:
     """Build a reference checker ``engine -> mismatch list`` for one of
     the stock algorithm families
     (``bfs``/``sssp``/``cc``/``st``/``widest``), closing over the
@@ -87,7 +87,7 @@ class _Watch:
         "last_epoch",
     )
 
-    def __init__(self, prog: str, fn: Callable):
+    def __init__(self, prog: str, fn: Callable[[Any, str], list[str]]):
         self.prog = prog
         self.fn = fn
         self.last_fresh_t = 0.0
@@ -103,7 +103,7 @@ class _Watch:
 class FreshnessProbe:
     """Samples convergence lag for a set of watched programs."""
 
-    def __init__(self, engine):
+    def __init__(self, engine: Any):
         self.engine = engine
         self._watches: list[_Watch] = []
 
@@ -117,7 +117,7 @@ class FreshnessProbe:
     def watched(self) -> list[str]:
         return [w.prog for w in self._watches]
 
-    def watch_for(self, prog: str):
+    def watch_for(self, prog: str) -> _Watch | None:
         """The :class:`_Watch` record for ``prog`` (None if unwatched);
         the serving layer reads its ``last_stale``/``last_epoch``."""
         for w in self._watches:
@@ -125,7 +125,7 @@ class FreshnessProbe:
                 return w
         return None
 
-    def sample(self, t: float, registry) -> None:
+    def sample(self, t: float, registry: Any) -> None:
         """Record one ``kind="freshness"`` row per watched program."""
         if not self._watches:
             return

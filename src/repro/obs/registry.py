@@ -22,7 +22,10 @@ Export to JSONL lives in :mod:`repro.obs.export`; each sample is one
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import Any
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from repro.obs.freshness import FreshnessProbe
 
 #: Default histogram bucket upper bounds in microseconds (geometric,
 #: covering sub-µs visitor dispatches up to ms-scale collection epochs).
@@ -211,13 +214,14 @@ class VirtualTimeSampler:
     the one deliberate exception and is opt-in separately.
     """
 
-    def __init__(self, engine, registry: MetricsRegistry, interval: float):
+    def __init__(self, engine: Any, registry: MetricsRegistry, interval: float):
         if interval <= 0:
             raise ValueError(f"sample interval must be > 0, got {interval}")
         self.engine = engine
         self.registry = registry
         self.interval = float(interval)
-        self.freshness = None  # FreshnessProbe, attached via the engine
+        # FreshnessProbe, attached via the engine's freshness plugin.
+        self.freshness: FreshnessProbe | None = None
         self._next_t = 0.0
 
     def schedule(self) -> None:

@@ -162,6 +162,7 @@ def run_parallel(
     collect_edges: bool = False,
     timeout: float = 600.0,
     obs: Any = None,
+    plugins: list[tuple[str, dict[str, Any]]] | None = None,
 ) -> ParallelResult:
     """Execute one saturation run with each rank as a real OS process.
 
@@ -173,6 +174,10 @@ def run_parallel(
     the result can be verified against the static oracle.  ``obs`` (an
     :class:`repro.obs.distributed.ObsConfig`) turns on per-rank
     wall-clock telemetry, harvested and merged into ``result.obs``.
+    ``plugins`` are picklable ``(name, kwargs)`` re-hydration specs
+    (see :data:`repro.runtime.plugins.PLUGIN_FACTORIES`): each worker
+    rebuilds the plugins locally (``mp_safe`` ones only) and ships
+    their ``harvest()`` payloads back under ``per_rank[r]["plugins"]``.
     """
     config = config or EngineConfig()
     wire = wire or WireConfig()
@@ -242,6 +247,7 @@ def run_parallel(
                     ring_names,
                     add_only,
                     obs,
+                    list(plugins or []),
                 ),
                 daemon=True,
             )

@@ -42,9 +42,10 @@ Bit-equality with the per-event path rests on five invariants:
   inserts), and a stale read there silently drops propagation.
 
 Per-event activity between drains (local stream ingest stays
-per-event) is observed through two engine hooks — ``_value_write_hook``
-and ``_insert_hook`` — and folded into the dense mirror at the start of
-the next drain.
+per-event) is observed through two dynamically installed engine hooks —
+the ``on_write`` and ``on_insert`` sites of the plugin registry
+(:mod:`repro.runtime.plugins`) — and folded into the dense mirror at
+the start of the next drain.
 
 Deletes (§VI-B) are handled defensively: the runner disables the vec
 path for delete-carrying streams, but if a K_DEL slab does reach an
@@ -125,8 +126,8 @@ class VecApplier:
         # Per-event activity observed between drains.
         self._dirty: list[dict[int, Any]] = [dict() for _ in self.kernels]
         self._pending_edges: list[tuple[int, int, int]] = []
-        engine._value_write_hook = self._on_value_write
-        engine._insert_hook = self._on_insert
+        engine.install_hook("on_write", self._on_value_write)
+        engine.install_hook("on_insert", self._on_insert)
         self.stats = {
             "kernel_batches": 0,
             "kernel_records": 0,
@@ -409,10 +410,8 @@ class VecApplier:
         store = engine.stores[self.rank]
         for s, d, w in self.edges():
             store.insert_edge(s, d, w)
-        if engine._value_write_hook == self._on_value_write:
-            engine._value_write_hook = None
-        if engine._insert_hook == self._on_insert:
-            engine._insert_hook = None
+        engine.uninstall_hook("on_write", self._on_value_write)
+        engine.uninstall_hook("on_insert", self._on_insert)
 
     # -- drain ---------------------------------------------------------
     def drain(self, slabs: list[tuple[int, int, int, np.ndarray]], loop) -> int:

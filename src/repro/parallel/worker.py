@@ -45,7 +45,9 @@ from repro.parallel.wire import (
     Sender,
     WireConfig,
 )
-from repro.runtime.engine import DynamicEngine, EngineConfig
+from repro.runtime.engine import EngineConfig
+from repro.runtime.lifecycle import EngineBuilder
+from repro.runtime.plugins import build_plugin
 from repro.runtime.visitor import VT_INIT
 
 _VEC_KINDS = (K_ADD, K_RADD, K_UPDATE)
@@ -65,6 +67,7 @@ def worker_main(
     ring_names: dict[tuple[int, int], str] | None = None,
     add_only: bool = True,
     obs_config: Any = None,
+    plugin_specs: list[tuple[str, dict[str, Any]]] | None = None,
 ) -> None:
     """Process entry point (top-level, so it is spawn-picklable)."""
     try:
@@ -81,6 +84,7 @@ def worker_main(
             ring_names,
             add_only,
             obs_config,
+            plugin_specs,
         )
         parent_conn.send((FRAME_RESULT, result))
     except BaseException:  # noqa: BLE001 - forwarded to the parent
@@ -108,13 +112,31 @@ def _run_rank(
     ring_names: dict[tuple[int, int], str] | None,
     add_only: bool,
     obs_config: Any = None,
+    plugin_specs: list[tuple[str, dict[str, Any]]] | None = None,
 ) -> dict[str, Any]:
     if config.bulk_ingest or config.trace or config.sample_interval is not None:
         raise ValueError(
             "mp workers need a sanitized EngineConfig "
             "(bulk_ingest/trace/sample_interval are DES-only)"
         )
-    engine = DynamicEngine(programs, config)
+    # Plugin re-hydration: instances don't cross the spawn boundary, so
+    # the parent ships picklable ``(name, kwargs)`` specs and each rank
+    # rebuilds real plugins locally.  Same gate discipline as the
+    # config flags above: DES-only plugins are rejected, not ignored.
+    plugins = [build_plugin(name, kwargs) for name, kwargs in plugin_specs or []]
+    for pl in plugins:
+        if not pl.mp_safe:
+            raise ValueError(
+                f"plugin {pl.name!r} is DES-only; mp workers accept only "
+                "mp_safe plugins"
+            )
+    engine = (
+        EngineBuilder()
+        .with_programs(programs)
+        .with_config(config)
+        .with_plugins(plugins)
+        .build()
+    )
     sender = Sender(peer_conns)
     jitter_rng = None
     if wire.jitter_seed is not None:
@@ -462,6 +484,11 @@ def _run_rank(
     }
     if coordinator is not None:
         result["token_rounds"] = coordinator.rounds_completed
+    plugin_payloads = engine.plugins.harvest()
+    if plugin_payloads:
+        # Per-rank plugin results (e.g. hook_stats firing counts) ride
+        # the result dict home, keyed by plugin name.
+        result["plugins"] = plugin_payloads
     if obs is not None:
         obs.span("harvest", t_harvest, "ctrl")
         result["obs"] = harvest_payload(obs, wire_stats)

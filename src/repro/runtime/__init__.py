@@ -13,6 +13,25 @@ from repro.runtime.engine import (
     EngineConfig,
     UnsupportedCollectionError,
 )
+from repro.runtime.lifecycle import (
+    PHASES,
+    EngineBuilder,
+    Lifecycle,
+    LifecycleError,
+)
+from repro.runtime.plugins import (
+    HOOK_SITES,
+    BulkIngestPlugin,
+    EnginePlugin,
+    FaultInjectionPlugin,
+    FreshnessPlugin,
+    HookStatsPlugin,
+    MetricsPlugin,
+    PluginRegistry,
+    TracerPlugin,
+    build_plugin,
+    plugins_from_config,
+)
 from repro.runtime.queries import Trigger, TriggerManager
 from repro.runtime.reference import ReferenceEngine
 from repro.runtime.snapshot import CollectionResult
@@ -23,6 +42,21 @@ __all__ = [
     "DynamicEngine",
     "UnsupportedCollectionError",
     "EngineConfig",
+    "EngineBuilder",
+    "Lifecycle",
+    "LifecycleError",
+    "PHASES",
+    "HOOK_SITES",
+    "EnginePlugin",
+    "PluginRegistry",
+    "TracerPlugin",
+    "MetricsPlugin",
+    "FreshnessPlugin",
+    "BulkIngestPlugin",
+    "FaultInjectionPlugin",
+    "HookStatsPlugin",
+    "build_plugin",
+    "plugins_from_config",
     "Trigger",
     "ReferenceEngine",
     "TriggerManager",

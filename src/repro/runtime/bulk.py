@@ -383,12 +383,14 @@ class BulkIngestor:
                             eng.triggers.on_change(p, vid, v, now)
                 else:
                     d.update(pairs)
-            if eng._serve_flush_hook is not None:
-                # A bulk flush bypasses _write_value, so the serving
-                # layer's per-write invalidation never fired; drop its
-                # (non-absorbing) cached entries for this program
-                # wholesale instead.
-                eng._serve_flush_hook(p)
+            if eng._hk_bulk_flush:
+                # A bulk flush bypasses _write_value, so per-write
+                # on_write hooks never fired; the coarse on_bulk_flush
+                # site fires once per program instead (the serving
+                # layer drops its non-absorbing cached entries for the
+                # whole program wholesale).
+                for h in eng._hk_bulk_flush:
+                    h(p)
         self.engaged = False
         self._synced_vals = eng._value_mutations
         if count_fallback:

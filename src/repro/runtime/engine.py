@@ -21,7 +21,7 @@ Orderings the algorithms rely on (provided by
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable
+from typing import TYPE_CHECKING, Any, Callable, Iterable
 
 from repro.comm.costmodel import CostModel, RankCounters
 from repro.comm.des import DiscreteEventLoop, RankHandler
@@ -29,6 +29,13 @@ from repro.comm.termination import FourCounterState, TerminationCoordinator
 from repro.events.stream import EventStream
 from repro.events.types import ADD as EV_ADD
 from repro.partition.partitioners import ConsistentHashPartitioner, Partitioner
+from repro.runtime.lifecycle import Lifecycle
+from repro.runtime.plugins import (
+    EnginePlugin,
+    FaultInjectionPlugin,
+    PluginRegistry,
+    plugins_from_config,
+)
 from repro.runtime.program import VertexContext, VertexProgram
 from repro.runtime.queries import Trigger, TriggerManager
 from repro.runtime.snapshot import ActiveCollection, CollectionResult
@@ -48,6 +55,11 @@ from repro.runtime.visitor import (
 )
 from repro.storage.degaware import DegAwareRHH
 from repro.util.validate import check_non_negative, check_positive
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.obs.registry import MetricsRegistry, VirtualTimeSampler
+    from repro.obs.tracer import Tracer
+    from repro.runtime.bulk import BulkIngestor
 
 # Trace span names per dispatched message type (repro.obs).  The "cat"
 # is what busy-coverage aggregation keys on (see BUSY_CATEGORIES).
@@ -148,6 +160,7 @@ class DynamicEngine(RankHandler):
         config: EngineConfig | None = None,
         cost_model: CostModel | None = None,
         partitioner: Partitioner | None = None,
+        plugins: list[EnginePlugin] | None = None,
     ):
         self.config = config or EngineConfig()
         self.cost = cost_model or CostModel()
@@ -217,61 +230,48 @@ class DynamicEngine(RankHandler):
         self._topo_mutations = 0
         self._value_mutations = 0
         self._streams_add_only = True
-        if self.config.bulk_ingest:
-            from repro.runtime.bulk import BulkIngestor
-
-            self._bulk: BulkIngestor | None = BulkIngestor(self)
-        else:
-            self._bulk = None
-        # Telemetry (repro.obs).  _prog_visits is always-on (a bare list
-        # increment per callback); tracer/metrics/sampler exist only
-        # when configured, and every hot-path emission is guarded by an
-        # inline ``if tracer is not None`` at the call site.
+        # Cross-cutting state slots.  These stay plain attributes (the
+        # compiled "single-slot" form every hot-path guard reads as one
+        # ``is not None`` check); plugins own their *construction*:
+        # BulkIngestPlugin/TracerPlugin/MetricsPlugin populate them in
+        # setup, derived from the legacy config flags when no explicit
+        # plugin list is given.  _prog_visits is always-on (a bare list
+        # increment per callback).
         self._prog_visits = [0] * len(programs)
-        if self.config.trace:
-            from repro.obs.tracer import Tracer
-
-            self.tracer: Tracer | None = Tracer()
-        else:
-            self.tracer = None
-        if self.config.sample_interval is not None:
-            from repro.obs.registry import MetricsRegistry, VirtualTimeSampler
-
-            self.metrics: MetricsRegistry | None = MetricsRegistry()
-            self.sampler: VirtualTimeSampler | None = VirtualTimeSampler(
-                self, self.metrics, self.config.sample_interval
-            )
-            self.sampler.schedule()
-        else:
-            self.metrics = None
-            self.sampler = None
-        # Batch-apply observation hooks (the mp backend's vectorized shm
-        # drain, repro.parallel.vecapply): fired on every per-event value
-        # write / edge insert so a dense mirror can fold per-event
-        # activity in before each bulk apply.  None everywhere else —
-        # the per-event hot path pays one is-None check.
-        self._value_write_hook: Callable[[int, int, Any], None] | None = None
-        self._insert_hook: Callable[[int, int, int], None] | None = None
-        # Fired as ``hook(src, dst)`` on every applied edge delete (both
-        # the canonical and the reverse side).  The serving layer uses
-        # it to demote "absorbing" cache entries — a delete can lower
-        # the true static answer, so absorption stops being sound the
-        # moment the stream stops being add-only.
-        self._delete_hook: Callable[[int, int], None] | None = None
-        # Serving-layer cache invalidation (repro.serving): fired on
-        # every per-event value write as ``hook(prog, vertex)`` so a
-        # stable-value cache can drop the entry.  The ServingLayer
-        # installs it lazily — only once the cache holds entries — so a
-        # serving layer that is attached but idle costs exactly one
-        # is-None check per write, same discipline as the tracer.
-        self._serve_invalidate: Callable[[int, int], None] | None = None
-        # Coarse companion for the bulk path: a value flush from the
-        # dense mirror (repro.runtime.bulk) bypasses _write_value, so it
-        # fires ``hook(prog)`` once per program instead — the serving
-        # layer drops every non-absorbing entry for that program.
-        self._serve_flush_hook: Callable[[int], None] | None = None
+        self._bulk: BulkIngestor | None = None
+        self.tracer: Tracer | None = None
+        self.metrics: MetricsRegistry | None = None
+        self.sampler: VirtualTimeSampler | None = None
+        # Compiled hook-site tuples (repro.runtime.plugins).  Every
+        # cross-cutting observer — the mp backend's dense-mirror folding
+        # (vecapply), the serving layer's stable-value cache, plugin
+        # hooks — lands in one of these flat tuples at build time.  The
+        # empty tuple is the disabled state, so each site costs the hot
+        # path exactly one attribute load + truth test (``if
+        # self._hk_write:``) — the same grade as the historical
+        # ``is not None`` guards, gated by bench_obs_overhead.py.
+        self._hk_dispatch: tuple[Callable[[int, int, float, float], None], ...] = ()
+        self._hk_write: tuple[Callable[[int, int, Any], None], ...] = ()
+        self._hk_insert: tuple[Callable[[int, int, Any], None], ...] = ()
+        self._hk_delete: tuple[Callable[[int, int], None], ...] = ()
+        self._hk_bulk_flush: tuple[Callable[[int], None], ...] = ()
+        self._hk_collection_cut: tuple[Callable[[int, int, int], None], ...] = ()
+        self._hk_checkpoint: tuple[Callable[[str, str], None], ...] = ()
+        self._hk_quiesce: tuple[Callable[[DynamicEngine], None], ...] = ()
         for r in range(n):
             self.loop.set_source_active(r, False)
+        # Lifecycle + plugin compilation (repro.runtime.lifecycle /
+        # repro.runtime.plugins).  With no explicit plugin list the
+        # legacy EngineConfig flags are desugared to the equivalent
+        # plugins, preserving the historical construction order exactly.
+        self.plugins = PluginRegistry(
+            plugins_from_config(self.config) if plugins is None else plugins
+        )
+        self.lifecycle = Lifecycle()
+        self.lifecycle.advance("configure")
+        self.lifecycle.advance("setup")
+        self.plugins.compile(self)
+        self.plugins.notify_phase("setup", self)
 
     # ------------------------------------------------------------------
     # public API: setup and execution
@@ -309,6 +309,7 @@ class DynamicEngine(RankHandler):
         """
         if not 0 <= rank < self.config.n_ranks:
             raise ValueError(f"rank {rank} out of range")
+        self._enter_phase("ingest")
         self._streams[rank] = stream
         self._stream_done[rank] = False
         self.loop.set_source_active(rank, True)
@@ -329,6 +330,7 @@ class DynamicEngine(RankHandler):
         Returns the number of events injected.  Combine freely with
         pulled streams.
         """
+        self._enter_phase("ingest")
         if self._bulk is not None:
             # Timed events interleave with pulled ones at explicit
             # instants; chunked replay would reorder across them, so
@@ -424,7 +426,16 @@ class DynamicEngine(RankHandler):
         Must be called before :meth:`run`.  Bulk ingest is disabled for
         the run: the chunked array path bypasses the message layer and
         would never put frames on the lossy wire.
+
+        Sugar for registering a
+        :class:`repro.runtime.plugins.FaultInjectionPlugin` — prefer
+        ``EngineBuilder().with_plugin(FaultInjectionPlugin(plan))`` when
+        building new engines.
         """
+        self.plugins.register_late(FaultInjectionPlugin(plan), self)
+
+    def _install_fault_plan(self, plan) -> None:
+        """Wire a fault plan into the loop (FaultInjectionPlugin body)."""
         from repro.comm.channel import ReliableDelivery
 
         if self._started:
@@ -465,6 +476,7 @@ class DynamicEngine(RankHandler):
 
     def run(self, max_virtual_time: float | None = None, max_actions: int | None = None) -> float:
         """Drive the cluster; returns the virtual makespan so far."""
+        self._enter_phase("drain")
         if not self._started:
             self.loop.start()
             self._started = True
@@ -475,7 +487,40 @@ class DynamicEngine(RankHandler):
             # End-of-run flush so observation APIs read exact values;
             # not a de-optimization (nothing forced per-event replay).
             self._bulk.flush_values(count_fallback=False)
+        if self._hk_quiesce and self.loop.quiescent():
+            for h in self._hk_quiesce:
+                h(self)
         return makespan
+
+    # ------------------------------------------------------------------
+    # lifecycle + plugin hooks (repro.runtime.lifecycle / .plugins)
+    # ------------------------------------------------------------------
+    def _enter_phase(self, phase: str) -> None:
+        """Advance the lifecycle; plugins observe genuine transitions
+        only (steady-phase repeats are coalesced no-ops)."""
+        if self.lifecycle.advance(phase):
+            self.plugins.notify_phase(phase, self)
+
+    def install_hook(self, site: str, fn: Callable[..., None]) -> None:
+        """Install a dynamic callback at a named hook site (see
+        :data:`repro.runtime.plugins.HOOK_SITES`); it is appended after
+        all plugin-registered hooks and recompiled into the site's flat
+        tuple immediately."""
+        self.plugins.install(site, fn)
+
+    def uninstall_hook(self, site: str, fn: Callable[..., None]) -> bool:
+        """Remove a dynamically installed callback; returns whether it
+        was present."""
+        return self.plugins.uninstall(site, fn)
+
+    def teardown(self) -> None:
+        """Enter the terminal lifecycle phase: plugins tear down in
+        reverse registration order and every hook site is cleared.
+        Idempotent; any further phase transition raises
+        :class:`repro.runtime.lifecycle.LifecycleError`."""
+        if self.lifecycle.advance("teardown"):
+            self.plugins.notify_phase("teardown", self)
+        self.plugins.teardown(self)
 
     # ------------------------------------------------------------------
     # public API: observation
@@ -635,6 +680,10 @@ class DynamicEngine(RankHandler):
         )
         self._next_collection_id += 1
         self.active_collection = col
+        self._enter_phase("collect")
+        if self._hk_collection_cut:
+            for h in self._hk_collection_cut:
+                h(col.collection_id, cut, prog)
         coord = self.config.coordinator_rank
         if self.tracer is not None:
             self.tracer.instant(
@@ -730,7 +779,8 @@ class DynamicEngine(RankHandler):
     def on_message(self, loop: DiscreteEventLoop, rank: int, msg: tuple) -> None:
         tracer = self.tracer
         metrics = self.metrics
-        if tracer is not None or metrics is not None:
+        dispatch_hooks = self._hk_dispatch
+        if tracer is not None or metrics is not None or dispatch_hooks:
             t0 = loop.clock[rank]
         b = self._bulk
         if b is not None and b.engaged:
@@ -834,7 +884,7 @@ class DynamicEngine(RankHandler):
             self._on_control(rank, msg)
         else:  # pragma: no cover - corrupted message
             raise ValueError(f"unknown visitor type in {msg!r}")
-        if tracer is not None or metrics is not None:
+        if tracer is not None or metrics is not None or dispatch_hooks:
             t1 = loop.clock[rank]
             if tracer is not None:
                 if vt == VT_CTRL:
@@ -846,6 +896,9 @@ class DynamicEngine(RankHandler):
                 metrics.histogram("dispatch_virtual_us").observe(
                     (t1 - t0) * 1e6
                 )
+            if dispatch_hooks:
+                for h in dispatch_hooks:
+                    h(rank, vt, t0, t1)
 
     # ------------------------------------------------------------------
     # topology application
@@ -856,8 +909,9 @@ class DynamicEngine(RankHandler):
         new = store.insert_edge(src, dst, weight)
         if new:
             self.counters[rank].edge_inserts += 1
-        if self._insert_hook is not None:
-            self._insert_hook(src, dst, weight)
+        if self._hk_insert:
+            for h in self._hk_insert:
+                h(src, dst, weight)
         self._charge(rank, self.cost.edge_insert_cpu)
         self._charge_spill(rank, store)
         return new
@@ -867,8 +921,9 @@ class DynamicEngine(RankHandler):
         self._topo_mutations += 1
         if store.delete_edge(src, dst):
             self.counters[rank].edge_deletes += 1
-        if self._delete_hook is not None:
-            self._delete_hook(src, dst)
+        if self._hk_delete:
+            for h in self._hk_delete:
+                h(src, dst)
         self._charge(rank, self.cost.edge_insert_cpu)
         self._charge_spill(rank, store)
 
@@ -953,8 +1008,9 @@ class DynamicEngine(RankHandler):
                 merged = program.merge(old, value)
                 if merged != old:
                     vals[vertex] = merged
-                    if self._serve_invalidate is not None:
-                        self._serve_invalidate(prog, vertex)
+                    if self._hk_write:
+                        for h in self._hk_write:
+                            h(prog, vertex, merged)
                     if self.triggers.has_triggers(prog):
                         self.triggers.on_change(prog, vertex, merged, self.loop.now(rank))
             return
@@ -966,10 +1022,9 @@ class DynamicEngine(RankHandler):
                 # prev-version view (§III-D).
                 prev[vertex] = vals.get(vertex, 0)
         vals[vertex] = value
-        if self._value_write_hook is not None:
-            self._value_write_hook(prog, vertex, value)
-        if self._serve_invalidate is not None:
-            self._serve_invalidate(prog, vertex)
+        if self._hk_write:
+            for h in self._hk_write:
+                h(prog, vertex, value)
         if self.triggers.has_triggers(prog):
             self.triggers.on_change(prog, vertex, value, self.loop.now(rank))
 
@@ -1253,6 +1308,7 @@ class DynamicEngine(RankHandler):
                     )
         elif subtype == CTRL_HARVEST:
             _, _, col_id, prog = msg
+            self._enter_phase("harvest")
             prev = self._prev_vals[rank]
             vals = self.values[rank][prog]
             part = {vid: prev.get(vid, val) for vid, val in vals.items()}

@@ -17,8 +17,8 @@ there are two moments at which a value is provably done changing —
   lag zero at an unchanged write epoch), i.e. the value is the
   converged answer on the *ingested-so-far* prefix.  It may still
   change when future stream events arrive, which is why every per-event
-  value write fires the engine's ``_serve_invalidate`` hook and drops
-  the entry.
+  value write fires the engine's ``on_write`` hook site
+  (:mod:`repro.runtime.plugins`) and drops the entry.
 
 Either way, a cached entry always equals the live engine value — the
 per-write invalidation hook guarantees coherence — so a cache hit is an
@@ -69,10 +69,12 @@ class StableValueCache:
         self.admissions += 1
 
     # -- invalidation ----------------------------------------------------
-    def invalidate(self, prog: int, vertex: int) -> None:
+    def invalidate(self, prog: int, vertex: int, _value: Any = None) -> None:
         """Per-write hook: the engine wrote ``(prog, vertex)``; drop the
         entry (absorbing included — a write to an absorbed vertex can
-        only restate the same value, so dropping is merely a re-miss)."""
+        only restate the same value, so dropping is merely a re-miss).
+        Matches the ``on_write`` hook-site signature; the written value
+        is irrelevant to invalidation and ignored."""
         if self._entries[prog].pop(vertex, None) is not None:
             self.invalidations += 1
 

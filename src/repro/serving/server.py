@@ -85,6 +85,10 @@ class EngineBackend:
     def __init__(self, engine):
         self.engine = engine
         self.prog_names = [p.name for p in engine.programs]
+        # The dynamically installed cache-coherence hooks, kept so
+        # uninstall_hooks can remove exactly what it added.
+        self._invalidate_fn: Callable[..., None] | None = None
+        self._flush_fn: Callable[[int], None] | None = None
 
     def prog_index(self, prog: int | str) -> int:
         return self.engine.prog_index(prog)
@@ -132,15 +136,24 @@ class EngineBackend:
 
     def install_hooks(
         self,
-        invalidate: Callable[[int, int], None],
+        invalidate: Callable[..., None],
         flush: Callable[[int], None],
     ) -> None:
-        self.engine._serve_invalidate = invalidate
-        self.engine._serve_flush_hook = flush
+        """Route cache coherence through the engine's plugin registry:
+        ``invalidate`` rides the per-write ``on_write`` site, ``flush``
+        the coarse ``on_bulk_flush`` site."""
+        self._invalidate_fn = invalidate
+        self._flush_fn = flush
+        self.engine.install_hook("on_write", invalidate)
+        self.engine.install_hook("on_bulk_flush", flush)
 
     def uninstall_hooks(self) -> None:
-        self.engine._serve_invalidate = None
-        self.engine._serve_flush_hook = None
+        if self._invalidate_fn is not None:
+            self.engine.uninstall_hook("on_write", self._invalidate_fn)
+            self._invalidate_fn = None
+        if self._flush_fn is not None:
+            self.engine.uninstall_hook("on_bulk_flush", self._flush_fn)
+            self._flush_fn = None
 
 
 class FrozenBackend:

@@ -146,7 +146,7 @@ class TestDeopt:
         applier.deopt(loop)
         store = engine.stores[0]
         assert sorted(store.edges()) == mirror
-        assert engine._value_write_hook is None
-        assert engine._insert_hook is None
+        assert engine._hk_write == ()
+        assert engine._hk_insert == ()
         # Folded values were written back for the per-event path.
         assert engine.value_of("bfs", 2) == 2

@@ -1,0 +1,199 @@
+"""Lifecycle phase-grammar properties and the EngineBuilder front door.
+
+The grammar under test (repro.runtime.lifecycle)::
+
+    configure -> setup -> { ingest | drain | collect | harvest }* -> teardown
+
+with exactly two legal no-op repeats: a steady phase re-entering itself
+and teardown after teardown.  The property tests drive random phase
+sequences against an independent reference acceptor and require the
+real :class:`Lifecycle` to agree on every accept/reject verdict, the
+final phase, and the coalesced history.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import DynamicEngine, EngineConfig, IncrementalBFS, ListEventStream
+from repro.events.types import ADD
+from repro.runtime.lifecycle import (
+    PHASES,
+    EngineBuilder,
+    Lifecycle,
+    LifecycleError,
+)
+
+STEADY = {"ingest", "drain", "collect", "harvest"}
+
+
+def reference_step(cur, phase):
+    """Independent re-statement of the grammar: returns the verdict for
+    one transition as ``("ok", advanced)`` or ``("err", None)``."""
+    if phase not in PHASES:
+        return ("err", None)
+    if cur == phase:
+        if phase in STEADY or phase == "teardown":
+            return ("ok", False)
+        return ("err", None)
+    if cur == "teardown":
+        return ("err", None)
+    if phase == "configure":
+        ok = cur is None
+    elif phase == "setup":
+        ok = cur == "configure"
+    elif phase in STEADY:
+        ok = cur == "setup" or cur in STEADY
+    else:  # teardown
+        ok = cur is not None
+    return ("ok", True) if ok else ("err", None)
+
+
+class TestGrammarProperties:
+    @given(
+        st.lists(
+            st.sampled_from(PHASES + ("bogus", "run")),
+            min_size=0,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_agrees_with_reference_acceptor(self, sequence):
+        lc = Lifecycle()
+        cur = None
+        expected_history = []
+        for phase in sequence:
+            verdict, advanced = reference_step(cur, phase)
+            if verdict == "err":
+                with pytest.raises(LifecycleError):
+                    lc.advance(phase)
+                # A rejected transition must leave the state untouched.
+                assert lc.phase == cur
+            else:
+                assert lc.advance(phase) is advanced
+                if advanced:
+                    cur = phase
+                    expected_history.append(phase)
+        assert lc.phase == cur
+        assert lc.history == expected_history
+
+    @given(
+        st.lists(st.sampled_from(sorted(STEADY)), min_size=1, max_size=20)
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_steady_phases_interleave_freely(self, steady_seq):
+        lc = Lifecycle()
+        lc.advance("configure")
+        lc.advance("setup")
+        for phase in steady_seq:
+            lc.advance(phase)  # never raises
+        # History holds the run-length-coalesced sequence.
+        coalesced = [steady_seq[0]]
+        for p in steady_seq[1:]:
+            if p != coalesced[-1]:
+                coalesced.append(p)
+        assert lc.history == ["configure", "setup"] + coalesced
+        lc.advance("teardown")
+        assert lc.torn_down
+
+
+class TestGrammarEdges:
+    def test_must_start_with_configure(self):
+        for phase in PHASES[1:]:
+            with pytest.raises(LifecycleError):
+                Lifecycle().advance(phase)
+
+    def test_configure_and_setup_run_once(self):
+        lc = Lifecycle()
+        lc.advance("configure")
+        with pytest.raises(LifecycleError):
+            lc.advance("configure")
+        lc.advance("setup")
+        with pytest.raises(LifecycleError):
+            lc.advance("setup")
+
+    def test_coalesced_repeats_return_false(self):
+        lc = Lifecycle()
+        lc.advance("configure")
+        lc.advance("setup")
+        assert lc.advance("ingest") is True
+        assert lc.advance("ingest") is False
+        assert lc.advance("drain") is True
+        assert lc.history == ["configure", "setup", "ingest", "drain"]
+
+    def test_teardown_is_terminal_and_idempotent(self):
+        lc = Lifecycle()
+        lc.advance("configure")
+        lc.advance("teardown")
+        assert lc.advance("teardown") is False
+        for phase in PHASES[:-1]:
+            with pytest.raises(LifecycleError):
+                lc.advance(phase)
+
+    def test_unknown_phase_rejected(self):
+        with pytest.raises(LifecycleError):
+            Lifecycle().advance("warmup")
+
+
+def path_events(n):
+    return ListEventStream([(ADD, i, i + 1, 1) for i in range(n)])
+
+
+class TestEngineIntegration:
+    def test_construction_runs_configure_and_setup(self):
+        e = DynamicEngine([IncrementalBFS()], EngineConfig(n_ranks=2))
+        assert e.lifecycle.history == ["configure", "setup"]
+
+    def test_run_walks_ingest_then_drain(self):
+        e = DynamicEngine([IncrementalBFS()], EngineConfig(n_ranks=2))
+        e.init_program("bfs", 0)
+        e.attach_streams([path_events(6)])
+        e.run()
+        assert e.lifecycle.history == ["configure", "setup", "ingest", "drain"]
+
+    def test_collection_enters_collect_and_harvest(self):
+        e = DynamicEngine([IncrementalBFS()], EngineConfig(n_ranks=2))
+        e.init_program("bfs", 0)
+        e.attach_streams([path_events(6)])
+        e.request_collection("bfs", at_time=0.0)
+        e.run()
+        history = e.lifecycle.history
+        assert "collect" in history and "harvest" in history
+        assert history.index("collect") < history.index("harvest")
+
+    def test_teardown_blocks_further_runs(self):
+        e = DynamicEngine([IncrementalBFS()], EngineConfig(n_ranks=2))
+        e.init_program("bfs", 0)
+        e.attach_streams([path_events(4)])
+        e.run()
+        e.teardown()
+        e.teardown()  # idempotent
+        assert e.lifecycle.torn_down
+        with pytest.raises(LifecycleError):
+            e.run()
+        with pytest.raises(LifecycleError):
+            e.attach_streams([path_events(2)])
+
+
+class TestEngineBuilder:
+    def test_fluent_methods_return_self(self):
+        b = EngineBuilder()
+        assert b.with_programs([IncrementalBFS()]) is b
+        assert b.with_config(EngineConfig(n_ranks=2)) is b
+        assert b.with_plugins([]) is b
+
+    def test_build_defaults_to_fresh_config(self):
+        e = EngineBuilder().with_programs([IncrementalBFS()]).build()
+        assert e.config.n_ranks == EngineConfig().n_ranks
+
+    def test_built_engine_runs(self):
+        e = (
+            EngineBuilder()
+            .with_programs([IncrementalBFS()])
+            .with_config(EngineConfig(n_ranks=2))
+            .build()
+        )
+        e.init_program("bfs", 0)
+        e.attach_streams([path_events(5)])
+        e.run()
+        assert e.value_of("bfs", 5) == 6

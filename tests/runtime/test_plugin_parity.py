@@ -1,0 +1,140 @@
+"""Bit-equality proof for the plugin refactor (the ISSUE 10 contract).
+
+Three construction paths must produce indistinguishable engines for
+every legacy EngineConfig flag combination:
+
+1. the legacy constructor, flags in the config (sugar derivation);
+2. the EngineBuilder with the same flagged config;
+3. the EngineBuilder over a flag-free config with the equivalent
+   plugin list passed explicitly.
+
+Hooks are observers consuming no virtual time, so all three runs of
+the same workload must agree on every program's state, the virtual
+makespan, per-rank counters, and — when tracing — the exact event list.
+"""
+
+import itertools
+
+import pytest
+
+from repro import (
+    DynamicEngine,
+    EngineConfig,
+    IncrementalBFS,
+    IncrementalCC,
+    ListEventStream,
+)
+from repro.events.types import ADD, DELETE
+from repro.runtime.lifecycle import EngineBuilder
+from repro.runtime.plugins import (
+    BulkIngestPlugin,
+    HookStatsPlugin,
+    MetricsPlugin,
+    TracerPlugin,
+)
+
+N_RANKS = 3
+
+
+def churn_events():
+    """A small add+delete mix over a 9-vertex mesh (deterministic)."""
+    events = [(ADD, i % 9, (i * 5 + 2) % 9, 1 + i % 3) for i in range(36)]
+    events += [(DELETE, 2, 7, 0), (DELETE, 4, 1, 0)]
+    events += [(ADD, 2, 7, 2), (ADD, 0, 8, 1)]
+    return [e for e in events if e[1] != e[2]]
+
+
+def drive(engine):
+    engine.init_program("bfs", 0)
+    engine.attach_streams([ListEventStream(churn_events())])
+    engine.run()
+    return engine
+
+
+def fingerprint(engine):
+    return {
+        "bfs": engine.state("bfs"),
+        "cc": engine.state("cc"),
+        "makespan": engine.loop.max_time(),
+        "counters": [
+            (c.source_events, c.visits, c.edge_inserts, c.edge_deletes)
+            for c in engine.counters
+        ],
+    }
+
+
+def explicit_plugins(trace, sample_interval, bulk_ingest):
+    plugins = []
+    if bulk_ingest:
+        plugins.append(BulkIngestPlugin())
+    if trace:
+        plugins.append(TracerPlugin())
+    if sample_interval is not None:
+        plugins.append(MetricsPlugin(sample_interval))
+    return plugins
+
+
+FLAG_COMBOS = list(
+    itertools.product([False, True], [None, 1e-3], [False, True])
+)
+
+
+@pytest.mark.parametrize("trace,sample_interval,bulk_ingest", FLAG_COMBOS)
+def test_all_three_paths_bit_identical(trace, sample_interval, bulk_ingest):
+    programs = lambda: [IncrementalBFS(), IncrementalCC()]
+    flagged = EngineConfig(
+        n_ranks=N_RANKS,
+        undirected=True,
+        trace=trace,
+        sample_interval=sample_interval,
+        bulk_ingest=bulk_ingest,
+    )
+    plain = EngineConfig(n_ranks=N_RANKS, undirected=True)
+
+    legacy = drive(DynamicEngine(programs(), flagged))
+    built = drive(
+        EngineBuilder().with_programs(programs()).with_config(flagged).build()
+    )
+    explicit = drive(
+        EngineBuilder()
+        .with_programs(programs())
+        .with_config(plain)
+        .with_plugins(explicit_plugins(trace, sample_interval, bulk_ingest))
+        .build()
+    )
+
+    fp = fingerprint(legacy)
+    assert fingerprint(built) == fp
+    assert fingerprint(explicit) == fp
+
+    for e in (legacy, built, explicit):
+        assert (e.tracer is not None) == trace
+        assert (e.sampler is not None) == (sample_interval is not None)
+        assert (e._bulk is not None) == bulk_ingest
+    if trace:
+        assert built.tracer.events == legacy.tracer.events
+        assert explicit.tracer.events == legacy.tracer.events
+    if sample_interval is not None:
+        assert built.metrics.samples == legacy.metrics.samples
+        assert explicit.metrics.samples == legacy.metrics.samples
+
+
+def test_observer_plugin_leaves_results_bit_identical():
+    """A hook on every site must not perturb state or the DES schedule."""
+    bare = drive(
+        DynamicEngine(
+            [IncrementalBFS(), IncrementalCC()],
+            EngineConfig(n_ranks=N_RANKS, undirected=True),
+        )
+    )
+    stats = HookStatsPlugin()
+    hooked = drive(
+        EngineBuilder()
+        .with_programs([IncrementalBFS(), IncrementalCC()])
+        .with_config(EngineConfig(n_ranks=N_RANKS, undirected=True))
+        .with_plugin(stats)
+        .build()
+    )
+    assert fingerprint(hooked) == fingerprint(bare)
+    assert stats.counts["on_dispatch"] > 0
+    assert stats.counts["on_delete"] > 0  # the churn stream fired it

@@ -1,0 +1,211 @@
+"""PluginRegistry semantics: registration, compilation, dynamic hooks.
+
+The contract (repro.runtime.plugins): duplicate names are rejected,
+unknown hook sites are rejected at compile, compiled firing order is
+plugin registration order followed by dynamic installation order, an
+empty registry leaves every per-site tuple empty (the disabled-cost
+guard), and teardown is idempotent and runs in reverse order.
+"""
+
+import pytest
+
+from repro import DynamicEngine, EngineConfig, IncrementalBFS, ListEventStream
+from repro.events.types import ADD
+from repro.runtime.plugins import (
+    HOOK_ATTRS,
+    HOOK_SITES,
+    EnginePlugin,
+    HookStatsPlugin,
+    MetricsPlugin,
+    PluginRegistry,
+    TracerPlugin,
+    build_plugin,
+    plugins_from_config,
+)
+
+
+def bare_engine(plugins=None):
+    return DynamicEngine(
+        [IncrementalBFS()], EngineConfig(n_ranks=2), plugins=plugins
+    )
+
+
+def run_path(e, n=6):
+    e.init_program("bfs", 0)
+    e.attach_streams([ListEventStream([(ADD, i, i + 1, 1) for i in range(n)])])
+    e.run()
+
+
+class Named(EnginePlugin):
+    def __init__(self, name, hooks=None, log=None):
+        self.name = name
+        self._hooks = hooks or {}
+        self.log = log if log is not None else []
+
+    def hooks(self):
+        return self._hooks
+
+    def teardown(self, engine):
+        self.log.append(f"teardown:{self.name}")
+
+
+class TestRegistration:
+    def test_duplicate_name_rejected(self):
+        reg = PluginRegistry([Named("a")])
+        with pytest.raises(ValueError, match="duplicate plugin name"):
+            reg.register(Named("a"))
+
+    def test_duplicate_name_rejected_via_engine(self):
+        e = bare_engine(plugins=[Named("a")])
+        with pytest.raises(ValueError, match="duplicate plugin name"):
+            e.plugins.register_late(Named("a"), e)
+
+    def test_unknown_hook_site_rejected_at_compile(self):
+        bad = Named("bad", hooks={"on_warp": lambda: None})
+        with pytest.raises(ValueError, match="unknown hook site"):
+            bare_engine(plugins=[bad])
+
+    def test_register_after_compile_requires_register_late(self):
+        e = bare_engine()
+        with pytest.raises(RuntimeError, match="already compiled"):
+            e.plugins.register(Named("late"))
+        e.plugins.register_late(Named("late"), e)
+        assert "late" in e.plugins.names()
+
+    def test_register_late_rejects_foreign_engine(self):
+        e1, e2 = bare_engine(), bare_engine()
+        with pytest.raises(RuntimeError, match="not compiled for this engine"):
+            e1.plugins.register_late(Named("x"), e2)
+
+    def test_get_and_names(self):
+        p = Named("a")
+        e = bare_engine(plugins=[p])
+        assert e.plugins.get("a") is p
+        assert e.plugins.get("nope") is None
+        assert e.plugins.names() == ["a"]
+
+
+class TestEmptyRegistryGuard:
+    def test_every_hook_site_is_the_empty_tuple(self):
+        e = bare_engine()
+        assert e.plugins.names() == []
+        for site in HOOK_SITES:
+            assert getattr(e, HOOK_ATTRS[site]) == (), site
+
+    def test_no_sugar_objects_without_flags(self):
+        e = bare_engine()
+        assert e.tracer is None
+        assert e.metrics is None
+        assert e.sampler is None
+        assert e._bulk is None
+
+
+class TestCompiledOrder:
+    def test_firing_order_is_registration_then_install_order(self):
+        fired = []
+        a = Named("a", hooks={"on_write": lambda *args: fired.append("a")})
+        b = Named("b", hooks={"on_write": lambda *args: fired.append("b")})
+        e = bare_engine(plugins=[a, b])
+        dyn = lambda *args: fired.append("dyn")
+        e.install_hook("on_write", dyn)
+        run_path(e, n=3)
+        assert fired[:3] == ["a", "b", "dyn"]
+        # One a/b/dyn round per committed value write, same order each.
+        assert fired == ["a", "b", "dyn"] * (len(fired) // 3)
+
+    def test_installed_reports_static_then_dynamic(self):
+        hook = lambda *args: None
+        a = Named("a", hooks={"on_write": hook})
+        e = bare_engine(plugins=[a])
+        dyn = lambda *args: None
+        e.install_hook("on_write", dyn)
+        assert e.plugins.installed("on_write") == (hook, dyn)
+        assert e._hk_write == (hook, dyn)
+
+
+class TestDynamicHooks:
+    def test_install_uninstall_round_trip(self):
+        e = bare_engine()
+        fn = lambda *args: None
+        e.install_hook("on_insert", fn)
+        assert e._hk_insert == (fn,)
+        assert e.uninstall_hook("on_insert", fn) is True
+        assert e._hk_insert == ()
+        assert e.uninstall_hook("on_insert", fn) is False
+
+    def test_unknown_site_rejected(self):
+        e = bare_engine()
+        with pytest.raises(ValueError, match="unknown hook site"):
+            e.install_hook("on_warp", lambda: None)
+        with pytest.raises(ValueError, match="unknown hook site"):
+            e.uninstall_hook("on_warp", lambda: None)
+
+
+class TestTeardown:
+    def test_reverse_order_and_idempotent(self):
+        log = []
+        a, b = Named("a", log=log), Named("b", log=log)
+        e = bare_engine(plugins=[a, b])
+        e.install_hook("on_write", lambda *args: None)
+        e.teardown()
+        assert log == ["teardown:b", "teardown:a"]
+        e.teardown()
+        assert log == ["teardown:b", "teardown:a"]  # ran once
+        for site in HOOK_SITES:
+            assert getattr(e, HOOK_ATTRS[site]) == (), site
+
+    def test_register_after_teardown_rejected(self):
+        e = bare_engine()
+        e.teardown()
+        with pytest.raises(RuntimeError, match="torn down"):
+            e.plugins.register_late(Named("x"), e)
+
+
+class TestHookStats:
+    def test_counts_every_fired_site(self):
+        stats = HookStatsPlugin()
+        e = bare_engine(plugins=[stats])
+        run_path(e, n=6)
+        assert stats.counts["on_dispatch"] > 0
+        assert stats.counts["on_write"] > 0
+        # Each ADD applies its canonical and reverse directed twin.
+        assert stats.counts["on_insert"] == 12
+        assert stats.counts["on_delete"] == 0
+        assert stats.counts["on_quiesce"] == 1
+        assert e.plugins.harvest() == {"hook_stats": stats.counts}
+
+    def test_harvest_skips_none_payloads(self):
+        e = bare_engine(plugins=[Named("quiet")])
+        assert e.plugins.harvest() == {}
+
+
+class TestConfigSugar:
+    def test_flag_derivation_order(self):
+        cfg = EngineConfig(
+            n_ranks=2, bulk_ingest=True, trace=True, sample_interval=1e-3
+        )
+        names = [p.name for p in plugins_from_config(cfg)]
+        assert names == ["bulk-ingest", "tracer", "metrics"]
+        assert plugins_from_config(EngineConfig(n_ranks=2)) == []
+
+    def test_flags_build_the_sugar_objects(self):
+        e = DynamicEngine(
+            [IncrementalBFS()],
+            EngineConfig(n_ranks=2, trace=True, sample_interval=1e-3),
+        )
+        assert e.tracer is not None
+        assert e.metrics is not None
+        assert e.sampler is not None
+        assert e.plugins.names() == ["tracer", "metrics"]
+
+
+class TestBuildPlugin:
+    def test_round_trip(self):
+        p = build_plugin("metrics", {"sample_interval": 0.5})
+        assert isinstance(p, MetricsPlugin)
+        assert p.sample_interval == 0.5
+        assert isinstance(build_plugin("tracer"), TracerPlugin)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown plugin"):
+            build_plugin("warp-drive")

@@ -77,15 +77,17 @@ class TestAdmissionAndInvalidation:
     def test_hooks_install_lazily(self):
         e = path_engine(n=12)
         serving = ServingLayer(e)
-        assert e._serve_invalidate is None  # idle layer: no hook
+        assert e._hk_write == ()  # idle layer: no hook
         e.run(max_actions=1)
         serving.point("bfs", 11)  # stale miss: still no admission
-        assert e._serve_invalidate is None
+        assert e._hk_write == ()
         e.run()
         serving.point("bfs", 11)  # drained miss: admits, installs
-        assert e._serve_invalidate is not None
+        assert e._hk_write != ()
+        assert e._hk_bulk_flush != ()
         serving.close()
-        assert e._serve_invalidate is None
+        assert e._hk_write == ()
+        assert e._hk_bulk_flush == ()
 
     def test_write_invalidates_cached_entry(self):
         # Path 0-1-2-3-4-5 ingested in two stages; a shortcut edge 0-5
